@@ -1,0 +1,126 @@
+// Ablation (Sec 6.5): job coordination. Analyzer-ordered sequential
+// submission vs uncoordinated concurrent submission of the same instance.
+#include <cstdio>
+#include <iostream>
+
+#include "analyzer/analyzer.h"
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace cloudviews {
+namespace bench {
+namespace {
+
+struct PassResult {
+  double total_cpu = 0;
+  int built = 0;
+  int reused = 0;
+  int lock_denied = 0;
+};
+
+PassResult RunPass(bool coordinated) {
+  ProductionWorkload workload;
+  CloudViewsConfig config;
+  config.analyzer.selection.top_k = 3;
+  config.analyzer.selection.min_frequency = 3;
+  config.analyzer.selection.min_cost_fraction_of_job = 0.2;
+  config.analyzer.selection.max_per_job = 1;
+  CloudViews cv(config);
+
+  workload.WriteInputs(cv.storage(), "2018-01-01");
+  std::map<uint64_t, size_t> job_to_index;
+  auto day1 = workload.Instance("2018-01-01");
+  for (size_t i = 0; i < day1.size(); ++i) {
+    auto r = cv.Submit(day1[i], false);
+    if (r.ok()) job_to_index[r->job_id] = i;
+  }
+  auto analysis = cv.RunAnalyzerAndLoad();
+
+  workload.WriteInputs(cv.storage(), "2018-01-02");
+  auto day2 = workload.Instance("2018-01-02");
+
+  PassResult result;
+  auto account = [&](const Result<JobResult>& r) {
+    if (!r.ok()) return;
+    result.total_cpu += r->run_stats.cpu_seconds;
+    result.built += r->views_materialized;
+    result.reused += r->views_reused;
+    result.lock_denied += r->materialize_lock_denied;
+  };
+
+  if (coordinated) {
+    // Analyzer hints: per view, the cheapest containing job runs first and
+    // builds for everyone else; then the rest may run concurrently.
+    std::vector<JobDefinition> builders, rest;
+    std::set<size_t> builder_idx;
+    size_t n_builders = analysis.annotations.size();
+    for (uint64_t job_id : analysis.submission_order) {
+      if (builder_idx.size() >= n_builders) break;
+      auto it = job_to_index.find(job_id);
+      if (it != job_to_index.end()) builder_idx.insert(it->second);
+    }
+    for (size_t i = 0; i < day2.size(); ++i) {
+      (builder_idx.count(i) ? builders : rest).push_back(day2[i]);
+    }
+    JobServiceOptions options;
+    options.enable_cloudviews = true;
+    for (const auto& def : builders) account(cv.Submit(def, true));
+    for (auto& r : cv.job_service()->SubmitConcurrent(rest, options)) {
+      account(r);
+    }
+  } else {
+    // Uncoordinated: everything lands at once; concurrent jobs recompute
+    // the same subgraphs and race for the build locks.
+    JobServiceOptions options;
+    options.enable_cloudviews = true;
+    for (auto& r : cv.job_service()->SubmitConcurrent(day2, options)) {
+      account(r);
+    }
+  }
+  return result;
+}
+
+int Run() {
+  FigureHeader(
+      "Ablation: job coordination",
+      "analyzer-ordered submission vs uncoordinated concurrency (Sec 6.5)",
+      "\"multiple jobs containing the same overlapping computation could "
+      "be scheduled concurrently ... they will recompute the same "
+      "subgraph\"; ordering the shortest builder first maximizes reuse");
+
+  PassResult coordinated = RunPass(true);
+  PassResult uncoordinated = RunPass(false);
+
+  TablePrinter table({"variant", "total CPU (ms)", "views built",
+                      "jobs reusing", "lock denials"});
+  table.AddRow({"coordinated (builders first)",
+                StrFormat("%.1f", coordinated.total_cpu * 1000),
+                StrFormat("%d", coordinated.built),
+                StrFormat("%d", coordinated.reused),
+                StrFormat("%d", coordinated.lock_denied)});
+  table.AddRow({"uncoordinated (all concurrent)",
+                StrFormat("%.1f", uncoordinated.total_cpu * 1000),
+                StrFormat("%d", uncoordinated.built),
+                StrFormat("%d", uncoordinated.reused),
+                StrFormat("%d", uncoordinated.lock_denied)});
+  table.Print(std::cout);
+
+  std::printf("\nsummary\n");
+  PaperVsMeasured(
+      "reuse lost without coordination", "recompute + lock contention",
+      StrFormat("%d -> %d jobs reusing", coordinated.reused,
+                uncoordinated.reused));
+  PaperVsMeasured(
+      "CPU overhead without coordination", "> 0",
+      StrFormat("%+.1f%%",
+                100.0 * (uncoordinated.total_cpu - coordinated.total_cpu) /
+                    coordinated.total_cpu));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudviews
+
+int main() { return cloudviews::bench::Run(); }

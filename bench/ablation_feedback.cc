@@ -1,0 +1,95 @@
+// Ablation (Sec 5.1): the feedback loop. Compares optimizer estimates with
+// and without observed run-time statistics, and the accuracy of each
+// against reality.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace cloudviews {
+namespace bench {
+namespace {
+
+int Run() {
+  FigureHeader(
+      "Ablation: feedback loop",
+      "optimizer estimates vs observed statistics (Sec 5.1)",
+      "\"the optimizer estimates for utility and costs are often way off\"; "
+      "the feedback loop reconciles them with run-time statistics");
+
+  ProductionWorkload workload;
+  CloudViews cv;
+  workload.WriteInputs(cv.storage(), "2018-01-01");
+
+  // Run every job once so observed statistics exist.
+  auto day1 = workload.Instance("2018-01-01");
+  for (const auto& def : day1) {
+    (void)cv.Submit(def, false);
+  }
+
+  // Re-compile day-2 instances with and without feedback; compare the
+  // root-output cardinality estimates against the actual day-2 runs.
+  workload.WriteInputs(cv.storage(), "2018-01-02");
+  auto day2 = workload.Instance("2018-01-02");
+
+  TablePrinter table({"job", "actual rows", "estimate (no feedback)",
+                      "estimate (feedback)", "err no-fb (x)", "err fb (x)"});
+  double geo_err_nofb = 0, geo_err_fb = 0;
+  int counted = 0;
+  for (size_t i = 0; i < day2.size(); ++i) {
+    JobServiceOptions no_fb;
+    no_fb.use_feedback_statistics = false;
+    no_fb.record_in_repository = false;
+    auto r_nofb = cv.job_service()->SubmitJob(day2[i], no_fb);
+
+    JobServiceOptions with_fb;
+    with_fb.use_feedback_statistics = true;
+    with_fb.record_in_repository = false;
+    auto r_fb = cv.job_service()->SubmitJob(day2[i], with_fb);
+    if (!r_nofb.ok() || !r_fb.ok()) continue;
+
+    // Estimated rows at the plan root (pre-execution) vs what actually
+    // came out.
+    double est_nofb = r_nofb->executed_plan->estimates().rows;
+    double est_fb = r_fb->executed_plan->estimates().rows;
+    double actual = r_fb->run_stats.output_rows;
+    if (actual <= 0) actual = 1;
+    double err_nofb =
+        std::max(est_nofb, 1.0) / actual >= 1
+            ? std::max(est_nofb, 1.0) / actual
+            : actual / std::max(est_nofb, 1.0);
+    double err_fb = std::max(est_fb, 1.0) / actual >= 1
+                        ? std::max(est_fb, 1.0) / actual
+                        : actual / std::max(est_fb, 1.0);
+    geo_err_nofb += std::log(err_nofb);
+    geo_err_fb += std::log(err_fb);
+    ++counted;
+    if (i % 4 == 0) {
+      table.AddRow({StrFormat("%zu", i + 1), StrFormat("%.0f", actual),
+                    StrFormat("%.0f", est_nofb), StrFormat("%.0f", est_fb),
+                    StrFormat("%.1f", err_nofb),
+                    StrFormat("%.1f", err_fb)});
+    }
+  }
+  table.Print(std::cout);
+
+  geo_err_nofb = std::exp(geo_err_nofb / std::max(1, counted));
+  geo_err_fb = std::exp(geo_err_fb / std::max(1, counted));
+  std::printf("\nsummary (geometric mean cardinality error, lower=better)\n");
+  PaperVsMeasured("estimates without feedback", "way off",
+                  StrFormat("%.1fx", geo_err_nofb));
+  PaperVsMeasured("estimates with feedback", "precise",
+                  StrFormat("%.1fx", geo_err_fb));
+  PaperVsMeasured("feedback improvement", ">1x",
+                  StrFormat("%.1fx tighter", geo_err_nofb / geo_err_fb));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudviews
+
+int main() { return cloudviews::bench::Run(); }

@@ -1,0 +1,97 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace cloudviews {
+namespace bench {
+
+void FigureHeader(const std::string& figure, const std::string& title,
+                  const std::string& paper_claim) {
+  std::printf("\n");
+  std::printf(
+      "==============================================================\n");
+  std::printf("%s: %s\n", figure.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf(
+      "==============================================================\n");
+}
+
+void PaperVsMeasured(const std::string& metric, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("  %-42s paper: %-18s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+double PctImprovement(double base, double with) {
+  if (base <= 0) return 0;
+  return 100.0 * (base - with) / base;
+}
+
+ClusterRun RunClusterInstance(const ClusterProfile& profile,
+                              const std::string& date) {
+  ClusterRun run;
+  run.cv = std::make_unique<CloudViews>();
+  SyntheticWorkloadGenerator gen(profile);
+  gen.WriteInputs(run.cv->storage(), date);
+  for (const auto& def : gen.Instance(date)) {
+    auto result = run.cv->Submit(def, /*enable_cloudviews=*/false);
+    ++run.jobs_submitted;
+    if (!result.ok()) ++run.jobs_failed;
+  }
+  return run;
+}
+
+ProductionComparison RunProductionComparison(size_t rows_per_input) {
+  ProductionWorkload::Options options;
+  options.rows_per_input = rows_per_input;
+  ProductionWorkload workload(options);
+
+  CloudViewsConfig config;
+  // Sec 7.1 selection: frequency >= 3, cost >= 20% of the job, at most one
+  // overlapping computation per job, top-3 by total utility.
+  config.analyzer.selection.top_k = 3;
+  config.analyzer.selection.min_frequency = 3;
+  config.analyzer.selection.min_cost_fraction_of_job = 0.2;
+  config.analyzer.selection.max_per_job = 1;
+  CloudViews cv(config);
+
+  // Day 1: history.
+  workload.WriteInputs(cv.storage(), "2018-01-01");
+  for (const auto& def : workload.Instance("2018-01-01")) {
+    auto r = cv.Submit(def, false);
+    if (!r.ok()) {
+      std::fprintf(stderr, "day-1 job failed: %s\n",
+                   r.status().ToString().c_str());
+    }
+  }
+  auto analysis = cv.RunAnalyzerAndLoad();
+
+  ProductionComparison cmp;
+  cmp.job_groups_built = static_cast<int>(analysis.annotations.size());
+
+  // Day 2 inputs, shared by both passes.
+  workload.WriteInputs(cv.storage(), "2018-01-02");
+  auto day2 = workload.Instance("2018-01-02");
+
+  // Baseline pass (CloudViews off).
+  for (const auto& def : day2) {
+    auto r = cv.Submit(def, false);
+    cmp.baseline_latency.push_back(r.ok() ? r->run_stats.latency_seconds : 0);
+    cmp.baseline_cpu.push_back(r.ok() ? r->run_stats.cpu_seconds : 0);
+  }
+  // CloudViews pass, arrival order (Sec 7.1 replays the past order).
+  for (const auto& def : day2) {
+    auto r = cv.Submit(def, true);
+    cmp.cloudviews_latency.push_back(r.ok() ? r->run_stats.latency_seconds
+                                            : 0);
+    cmp.cloudviews_cpu.push_back(r.ok() ? r->run_stats.cpu_seconds : 0);
+    cmp.views_built.push_back(r.ok() ? r->views_materialized : 0);
+    cmp.views_reused.push_back(r.ok() ? r->views_reused : 0);
+  }
+  return cmp;
+}
+
+}  // namespace bench
+}  // namespace cloudviews

@@ -1,0 +1,53 @@
+#ifndef CLOUDVIEWS_BENCH_BENCH_UTIL_H_
+#define CLOUDVIEWS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cloudviews.h"
+#include "workload/production_workload.h"
+#include "workload/synthetic.h"
+
+namespace cloudviews {
+namespace bench {
+
+/// Prints a figure banner: number, title, and the paper's claim.
+void FigureHeader(const std::string& figure, const std::string& title,
+                  const std::string& paper_claim);
+
+/// "paper vs measured" one-liner for the summary sections.
+void PaperVsMeasured(const std::string& metric, const std::string& paper,
+                     const std::string& measured);
+
+/// Percentage improvement of `with` over `base` (positive = faster).
+double PctImprovement(double base, double with);
+
+/// Runs one recurring instance of a synthetic cluster workload (CloudViews
+/// off) and returns the populated system for analysis.
+struct ClusterRun {
+  std::unique_ptr<CloudViews> cv;
+  size_t jobs_submitted = 0;
+  size_t jobs_failed = 0;
+};
+ClusterRun RunClusterInstance(const ClusterProfile& profile,
+                              const std::string& date);
+
+/// Per-job measurements of the Sec 7.1 production comparison.
+struct ProductionComparison {
+  std::vector<double> baseline_latency;   // seconds, per job (arrival order)
+  std::vector<double> cloudviews_latency;
+  std::vector<double> baseline_cpu;
+  std::vector<double> cloudviews_cpu;
+  std::vector<int> views_built;   // per job
+  std::vector<int> views_reused;  // per job
+  int job_groups_built = 0;
+};
+
+/// Replays the 32-job production workload: day-1 history, analyzer, then a
+/// day-2 baseline pass and a day-2 CloudViews pass over identical inputs.
+ProductionComparison RunProductionComparison(size_t rows_per_input = 20000);
+
+}  // namespace bench
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Reproduces Figure 11: end-to-end latency of the 32 production jobs,
+// baseline vs CloudViews (3 views; 16/12/4 jobs per view).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace cloudviews {
+namespace bench {
+namespace {
+
+int Run() {
+  FigureHeader(
+      "Figure 11", "Production jobs: end-to-end latency",
+      "average speedup 43% (max 91%, slowdowns up to 48% on view-building "
+      "jobs); overall workload latency drops 60%");
+
+  ProductionComparison cmp = RunProductionComparison();
+
+  TablePrinter table(
+      {"job", "baseline (ms)", "cloudviews (ms)", "improvement %", "role"});
+  double base_total = 0, cv_total = 0, improvement_sum = 0;
+  double max_speedup = -1e9, max_slowdown = 1e9;
+  for (size_t i = 0; i < cmp.baseline_latency.size(); ++i) {
+    double base = cmp.baseline_latency[i] * 1000;
+    double with = cmp.cloudviews_latency[i] * 1000;
+    double pct = PctImprovement(base, with);
+    base_total += base;
+    cv_total += with;
+    improvement_sum += pct;
+    max_speedup = std::max(max_speedup, pct);
+    max_slowdown = std::min(max_slowdown, pct);
+    const char* role = cmp.views_built[i] > 0
+                           ? "builds view"
+                           : (cmp.views_reused[i] > 0 ? "reuses view"
+                                                      : "no overlap hit");
+    table.AddRow({StrFormat("%zu", i + 1), StrFormat("%.2f", base),
+                  StrFormat("%.2f", with), StrFormat("%+.1f", pct), role});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nsummary (%d views selected)\n", cmp.job_groups_built);
+  PaperVsMeasured(
+      "average latency improvement", "43%",
+      StrFormat("%.0f%%", improvement_sum /
+                              static_cast<double>(
+                                  cmp.baseline_latency.size())));
+  PaperVsMeasured("overall latency improvement", "60%",
+                  StrFormat("%.0f%%", PctImprovement(base_total, cv_total)));
+  PaperVsMeasured("max speedup", "91%", StrFormat("%.0f%%", max_speedup));
+  PaperVsMeasured("max slowdown (builders pay)", "-48%",
+                  StrFormat("%.0f%%", max_slowdown));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudviews
+
+int main() { return cloudviews::bench::Run(); }

@@ -1,0 +1,63 @@
+// Reproduces Figure 12: resource consumption (CPU time) of the 32
+// production jobs, baseline vs CloudViews.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace cloudviews {
+namespace bench {
+namespace {
+
+int Run() {
+  FigureHeader(
+      "Figure 12", "Production jobs: resource consumption (CPU time)",
+      "average CPU improvement 36% (max 95%, slowdowns to -230% on "
+      "builders); overall CPU time drops 54%");
+
+  ProductionComparison cmp = RunProductionComparison();
+
+  TablePrinter table({"job", "baseline cpu (ms)", "cloudviews cpu (ms)",
+                      "improvement %", "role"});
+  double base_total = 0, cv_total = 0, improvement_sum = 0;
+  double max_speedup = -1e9, max_slowdown = 1e9;
+  for (size_t i = 0; i < cmp.baseline_cpu.size(); ++i) {
+    double base = cmp.baseline_cpu[i] * 1000;
+    double with = cmp.cloudviews_cpu[i] * 1000;
+    double pct = PctImprovement(base, with);
+    base_total += base;
+    cv_total += with;
+    improvement_sum += pct;
+    max_speedup = std::max(max_speedup, pct);
+    max_slowdown = std::min(max_slowdown, pct);
+    const char* role = cmp.views_built[i] > 0
+                           ? "builds view"
+                           : (cmp.views_reused[i] > 0 ? "reuses view"
+                                                      : "no overlap hit");
+    table.AddRow({StrFormat("%zu", i + 1), StrFormat("%.2f", base),
+                  StrFormat("%.2f", with), StrFormat("%+.1f", pct), role});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nsummary (%d views selected)\n", cmp.job_groups_built);
+  PaperVsMeasured(
+      "average CPU improvement", "36%",
+      StrFormat("%.0f%%",
+                improvement_sum /
+                    static_cast<double>(cmp.baseline_cpu.size())));
+  PaperVsMeasured("overall CPU improvement", "54%",
+                  StrFormat("%.0f%%", PctImprovement(base_total, cv_total)));
+  PaperVsMeasured("max speedup", "95%", StrFormat("%.0f%%", max_speedup));
+  PaperVsMeasured("max slowdown (builders pay)", "-230%",
+                  StrFormat("%.0f%%", max_slowdown));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudviews
+
+int main() { return cloudviews::bench::Run(); }

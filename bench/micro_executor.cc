@@ -1,0 +1,111 @@
+// Microbenchmarks: executor operator throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "exec/executor.h"
+#include "plan/plan_builder.h"
+
+namespace cloudviews {
+namespace {
+
+struct Env {
+  SimulatedClock clock;
+  StorageManager storage{&clock};
+
+  explicit Env(int64_t rows) {
+    Schema schema({{"k", DataType::kInt64},
+                   {"g", DataType::kString},
+                   {"v", DataType::kDouble}});
+    Rng rng(7);
+    static const char* kGroups[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+    Batch b(schema);
+    for (int64_t i = 0; i < rows; ++i) {
+      (void)b.AppendRow({Value::Int64(static_cast<int64_t>(rng.Uniform(
+                             static_cast<uint64_t>(rows)))),
+                         Value::String(kGroups[rng.Uniform(8)]),
+                         Value::Double(rng.NextDouble())});
+    }
+    (void)storage.WriteStream(
+        MakeStreamData("data", "g1", schema, {b}, 0));
+    (void)storage.WriteStream(
+        MakeStreamData("data2", "g2", schema, {b}, 0));
+  }
+
+  PlanBuilder Scan(const char* name = "data") {
+    Schema schema({{"k", DataType::kInt64},
+                   {"g", DataType::kString},
+                   {"v", DataType::kDouble}});
+    return PlanBuilder::Extract(name, name, name[4] ? "g2" : "g1", schema);
+  }
+
+  double RunPlan(PlanNodePtr plan) {
+    Status st = plan->Bind();
+    if (!st.ok()) std::abort();
+    AssignNodeIds(plan.get());
+    Executor exec({.storage = &storage});
+    auto r = exec.Execute(plan);
+    if (!r.ok()) std::abort();
+    return r->output_rows;
+  }
+};
+
+void BM_Filter(benchmark::State& state) {
+  Env env(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.RunPlan(env.Scan().Filter(Gt(Col("v"), Lit(0.5))).Build()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Arg(1000)->Arg(10000);
+
+void BM_HashAggregate(benchmark::State& state) {
+  Env env(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.RunPlan(
+        env.Scan()
+            .Aggregate({"g"}, {{AggFunc::kCount, nullptr, "n"},
+                               {AggFunc::kSum, Col("v"), "sv"}})
+            .Build()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashAggregate)->Arg(1000)->Arg(10000);
+
+void BM_Sort(benchmark::State& state) {
+  Env env(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.RunPlan(env.Scan().Sort({{"v", false}}).Build()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort)->Arg(1000)->Arg(10000);
+
+void BM_HashJoin(benchmark::State& state) {
+  Env env(state.range(0));
+  for (auto _ : state) {
+    auto right = env.Scan("data2")
+                     .Project({{Col("k"), "k2"}, {Col("v"), "v2"}});
+    benchmark::DoNotOptimize(env.RunPlan(
+        env.Scan()
+            .Join(std::move(right), JoinType::kInner, {{"k", "k2"}})
+            .Aggregate({}, {{AggFunc::kCount, nullptr, "n"}})
+            .Build()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+
+void BM_Exchange(benchmark::State& state) {
+  Env env(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.RunPlan(
+        env.Scan().Exchange(Partitioning::Hash({"k"}, 16)).Build()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Exchange)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,91 @@
+// Microbenchmarks: metadata service operations under varying numbers of
+// loaded annotations.
+#include <benchmark/benchmark.h>
+
+#include "metadata/metadata_service.h"
+
+namespace cloudviews {
+namespace {
+
+std::vector<AnnotatedComputation> MakeAnnotations(int n) {
+  std::vector<AnnotatedComputation> comps;
+  comps.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    AnnotatedComputation comp;
+    comp.annotation.normalized_signature =
+        Hash128{static_cast<uint64_t>(i + 1), 7};
+    comp.annotation.frequency = 3;
+    comp.tags = {"template:t" + std::to_string(i % (n / 4 + 1)),
+                 "vc:v" + std::to_string(i % 16)};
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+void BM_LoadAnalysis(benchmark::State& state) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  MetadataService service(&clock, &storage);
+  auto comps = MakeAnnotations(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    service.LoadAnalysis(comps);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LoadAnalysis)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GetRelevantViews(benchmark::State& state) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  MetadataService service(&clock, &storage);
+  service.LoadAnalysis(MakeAnnotations(static_cast<int>(state.range(0))));
+  std::vector<std::string> tags{"template:t1", "vc:v3"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.GetRelevantViews(tags));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetRelevantViews)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ProposeAndReport(benchmark::State& state) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  MetadataService service(&clock, &storage);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Hash128 precise{++i, 99};
+    benchmark::DoNotOptimize(
+        service.ProposeMaterialize(Hash128{1, 1}, precise, i, 10));
+    MaterializedViewInfo info;
+    info.normalized_signature = Hash128{1, 1};
+    info.precise_signature = precise;
+    info.path = "/views/x/y.ss";
+    service.ReportMaterialized(info, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProposeAndReport);
+
+void BM_FindMaterialized(benchmark::State& state) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  MetadataService service(&clock, &storage);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    MaterializedViewInfo info;
+    info.normalized_signature = Hash128{i, 1};
+    info.precise_signature = Hash128{i, 2};
+    info.path = "/views/x/y.ss";
+    service.ReportMaterialized(info, 0);
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Hash128 sig{(i++) % 10000, 1};
+    benchmark::DoNotOptimize(
+        service.FindMaterialized(sig, Hash128{sig.hi, 2}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FindMaterialized);
+
+}  // namespace
+}  // namespace cloudviews

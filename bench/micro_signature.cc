@@ -1,0 +1,78 @@
+// Microbenchmarks: signature computation and subgraph enumeration
+// throughput (the analyzer and compiler hot paths).
+#include <benchmark/benchmark.h>
+
+#include "plan/plan_builder.h"
+#include "signature/signature.h"
+
+namespace cloudviews {
+namespace {
+
+Schema MicroSchema() {
+  return Schema({{"k", DataType::kInt64},
+                 {"s", DataType::kString},
+                 {"v", DataType::kDouble},
+                 {"d", DataType::kDate}});
+}
+
+/// Chain of `depth` filter/project pairs over a scan.
+PlanNodePtr DeepPlan(int depth) {
+  PlanBuilder b = PlanBuilder::Extract("in_{date}", "in_2018-01-01", "g",
+                                       MicroSchema());
+  for (int i = 0; i < depth; ++i) {
+    b = std::move(b).Filter(
+        Gt(Col("k"), Lit(static_cast<int64_t>(i))));
+    b = std::move(b).Project({{Col("k"), "k"},
+                              {Col("s"), "s"},
+                              {Col("v"), "v"},
+                              {Col("d"), "d"}});
+  }
+  auto plan = std::move(b).Build();
+  Status st = plan->Bind();
+  (void)st;
+  return plan;
+}
+
+void BM_PreciseSignature(benchmark::State& state) {
+  auto plan = DeepPlan(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan->SubtreeHash(SignatureMode::kPrecise));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan->SubtreeSize()));
+}
+BENCHMARK(BM_PreciseSignature)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NormalizedSignature(benchmark::State& state) {
+  auto plan = DeepPlan(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan->SubtreeHash(SignatureMode::kNormalized));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan->SubtreeSize()));
+}
+BENCHMARK(BM_NormalizedSignature)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EnumerateSubgraphs(benchmark::State& state) {
+  auto plan = DeepPlan(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto subgraphs = EnumerateSubgraphs(plan);
+    benchmark::DoNotOptimize(subgraphs.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan->SubtreeSize()));
+}
+BENCHMARK(BM_EnumerateSubgraphs)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HashBuilderThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    HashBuilder hb;
+    for (int i = 0; i < 64; ++i) hb.Add(static_cast<uint64_t>(i));
+    benchmark::DoNotOptimize(hb.Finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HashBuilderThroughput);
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,141 @@
+// Quickstart: the end-to-end CloudViews loop in ~80 lines.
+//
+// Two teams run recurring scripts that share a computation (filter +
+// aggregate over the day's clicks). Day 1 runs plain and populates the
+// workload repository; the analyzer then mines the overlap; on day 2 the
+// first job materializes the shared view and the second reuses it —
+// with zero changes to either script.
+#include <cstdio>
+
+#include "common/guid.h"
+#include "common/random.h"
+#include "core/cloudviews.h"
+#include "parser/parser.h"
+
+using namespace cloudviews;
+
+namespace {
+
+// Team A's script: slow-page report.
+const char* kScriptA = R"(
+clicks = EXTRACT user:int, page:string, latency:int, when:date
+         FROM "clicks_{date}";
+slow   = SELECT page, COUNT(*) AS n, AVG(latency) AS avg_latency
+         FROM clicks WHERE latency > 200 GROUP BY page;
+OUTPUT slow TO "slow_pages_{date}";
+)";
+
+// Team B's script: same cooking step, different tail.
+const char* kScriptB = R"(
+clicks = EXTRACT user:int, page:string, latency:int, when:date
+         FROM "clicks_{date}";
+slow   = SELECT page, COUNT(*) AS n, AVG(latency) AS avg_latency
+         FROM clicks WHERE latency > 200 GROUP BY page;
+top    = SELECT page, n, avg_latency FROM slow ORDER BY n DESC TOP 3;
+OUTPUT top TO "top_slow_pages_{date}";
+)";
+
+void WriteClicks(CloudViews* cv, const std::string& date, uint64_t seed) {
+  Schema schema({{"user", DataType::kInt64},
+                 {"page", DataType::kString},
+                 {"latency", DataType::kInt64},
+                 {"when", DataType::kDate}});
+  static const char* kPages[] = {"/home", "/search", "/cart", "/checkout"};
+  Rng rng(seed);
+  int64_t day = 0;
+  ParseDate(date, &day);
+  Batch batch(schema);
+  for (int i = 0; i < 5000; ++i) {
+    (void)batch.AppendRow(
+        {Value::Int64(static_cast<int64_t>(rng.Uniform(1000))),
+         Value::String(kPages[rng.Uniform(4)]),
+         Value::Int64(static_cast<int64_t>(rng.Uniform(500))),
+         Value::Date(day)});
+  }
+  (void)cv->storage()->WriteStream(MakeStreamData(
+      "clicks_" + date, GenerateGuid(), schema, {batch},
+      cv->clock()->Now()));
+}
+
+JobDefinition MakeJob(CloudViews* cv, const char* script,
+                      const std::string& team, const std::string& date) {
+  ScopeScriptParser parser;
+  ParamMap params;
+  params["date"] = DateParam(date);
+  StorageManager* storage = cv->storage();
+  auto plan = parser.Parse(script, params, [storage](const std::string& s) {
+    auto handle = storage->OpenStream(s);
+    return handle.ok() ? (*handle)->guid : std::string();
+  });
+  if (!plan.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  JobDefinition def;
+  def.template_id = team;
+  def.vc = "vc-" + team;
+  def.user = team;
+  def.logical_plan = *plan;
+  return def;
+}
+
+void Report(const char* label, const Result<JobResult>& r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label,
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("  %-22s latency %6.2fms  views built %d, reused %d\n", label,
+              r->run_stats.latency_seconds * 1000, r->views_materialized,
+              r->views_reused);
+}
+
+}  // namespace
+
+int main() {
+  CloudViews cv;
+
+  std::printf("day 1: plain runs build workload history\n");
+  WriteClicks(&cv, "2018-01-01", 1);
+  Report("team-a (2018-01-01)",
+         cv.Submit(MakeJob(&cv, kScriptA, "team-a", "2018-01-01")));
+  Report("team-b (2018-01-01)",
+         cv.Submit(MakeJob(&cv, kScriptB, "team-b", "2018-01-01")));
+
+  std::printf("\nanalyzer: mining the repository\n");
+  auto analysis = cv.RunAnalyzerAndLoad();
+  std::printf("  %zu jobs analyzed, %zu subgraphs mined, %zu view(s) "
+              "selected\n",
+              analysis.jobs_analyzed, analysis.subgraphs_mined,
+              analysis.annotations.size());
+  for (const auto& comp : analysis.annotations) {
+    std::printf("  view %s  freq=%lld  avg runtime %.2fms  design %s\n",
+                comp.annotation.normalized_signature.ToHex()
+                    .substr(0, 12)
+                    .c_str(),
+                static_cast<long long>(comp.annotation.frequency),
+                comp.annotation.avg_runtime_seconds * 1000,
+                comp.annotation.design.ToString().c_str());
+  }
+
+  std::printf("\nday 2: new data, unchanged scripts\n");
+  WriteClicks(&cv, "2018-01-02", 2);
+  Report("team-a (2018-01-02)",
+         cv.Submit(MakeJob(&cv, kScriptA, "team-a", "2018-01-02")));
+  Report("team-b (2018-01-02)",
+         cv.Submit(MakeJob(&cv, kScriptB, "team-b", "2018-01-02")));
+
+  std::printf("\nmaterialized views on the cluster:\n");
+  for (const auto& view : cv.metadata()->ListViews()) {
+    std::printf("  %s  (%.0f rows, built by job %llu)\n", view.path.c_str(),
+                view.rows, static_cast<unsigned long long>(
+                               view.producer_job_id));
+  }
+  std::printf("\nteam-b's day-2 output (reused the view):\n");
+  auto out = cv.storage()->OpenStream("top_slow_pages_2018-01-02");
+  if (out.ok()) {
+    Batch b = CombineBatches((*out)->schema, (*out)->batches);
+    std::printf("%s", b.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "analyzer/analyzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace cloudviews {
+
+std::vector<uint64_t> ComputeSubmissionOrder(
+    const std::vector<const SubgraphAggregate*>& selected,
+    const std::vector<std::shared_ptr<const JobRecord>>& jobs) {
+  std::map<uint64_t, const JobRecord*> by_id;
+  std::map<uint64_t, int> overlap_count;  // selected views containing a job
+  for (const auto& j : jobs) by_id[j->job_id] = j.get();
+  for (const SubgraphAggregate* agg : selected) {
+    for (uint64_t job : agg->jobs) ++overlap_count[job];
+  }
+
+  // Per selected view (group of jobs sharing the overlap), pick the
+  // shortest job — least overlapping on ties — as its builder.
+  std::map<uint64_t, const JobRecord*> builders;
+  for (const SubgraphAggregate* agg : selected) {
+    const JobRecord* best = nullptr;
+    for (uint64_t job_id : agg->jobs) {
+      auto it = by_id.find(job_id);
+      if (it == by_id.end()) continue;
+      const JobRecord* j = it->second;
+      if (best == nullptr) {
+        best = j;
+        continue;
+      }
+      double jl = j->run_stats.latency_seconds;
+      double bl = best->run_stats.latency_seconds;
+      if (jl < bl ||
+          (jl == bl && overlap_count[j->job_id] < overlap_count[best->job_id])) {
+        best = j;
+      }
+    }
+    if (best != nullptr) builders[best->job_id] = best;
+  }
+
+  // Builders first, ordered by runtime (ties: fewer overlaps), then all
+  // remaining jobs in their original order.
+  std::vector<const JobRecord*> builder_list;
+  for (const auto& [id, j] : builders) builder_list.push_back(j);
+  std::sort(builder_list.begin(), builder_list.end(),
+            [&](const JobRecord* a, const JobRecord* b) {
+              double al = a->run_stats.latency_seconds;
+              double bl = b->run_stats.latency_seconds;
+              if (al != bl) return al < bl;
+              if (overlap_count[a->job_id] != overlap_count[b->job_id]) {
+                return overlap_count[a->job_id] < overlap_count[b->job_id];
+              }
+              return a->job_id < b->job_id;
+            });
+
+  std::vector<uint64_t> order;
+  std::set<uint64_t> placed;
+  for (const JobRecord* j : builder_list) {
+    order.push_back(j->job_id);
+    placed.insert(j->job_id);
+  }
+  for (const auto& j : jobs) {
+    if (placed.insert(j->job_id).second) order.push_back(j->job_id);
+  }
+  return order;
+}
+
+AnalysisResult CloudViewsAnalyzer::Analyze(
+    const std::vector<std::shared_ptr<const JobRecord>>& jobs) const {
+  auto start = std::chrono::steady_clock::now();
+  AnalysisResult result;
+  result.jobs_analyzed = jobs.size();
+
+  OverlapAnalyzer overlap;
+  overlap.AddJobs(jobs);
+  result.subgraphs_mined = overlap.aggregates().size();
+  result.report = overlap.BuildReport();
+
+  ViewSelector selector(config_.selection);
+  std::vector<const SubgraphAggregate*> selected =
+      selector.Select(overlap.aggregates());
+
+  for (const SubgraphAggregate* agg : selected) {
+    AnnotatedComputation comp;
+    comp.annotation.normalized_signature = agg->normalized;
+    comp.annotation.design = agg->PopularDesign();
+    comp.annotation.expected_rows = agg->AvgRows();
+    comp.annotation.expected_bytes = agg->AvgBytes();
+    comp.annotation.avg_runtime_seconds = agg->AvgLatency();
+    comp.annotation.frequency = agg->frequency;
+    comp.annotation.lifetime_seconds = agg->max_recurrence_period;
+    comp.annotation.offline = config_.offline_mode;
+    for (const auto& t : agg->templates) {
+      comp.tags.push_back("template:" + t);
+    }
+    result.annotations.push_back(std::move(comp));
+    result.selected.push_back(*agg);
+  }
+  result.submission_order = ComputeSubmissionOrder(selected, jobs);
+
+  result.analysis_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cloudviews

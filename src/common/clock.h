@@ -1,0 +1,39 @@
+#ifndef CLOUDVIEWS_COMMON_CLOCK_H_
+#define CLOUDVIEWS_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cloudviews {
+
+/// Logical timestamp: seconds since an arbitrary epoch. Recurring jobs are
+/// scheduled on this timeline (hourly = 3600, daily = 86400, ...).
+using LogicalTime = int64_t;
+
+constexpr LogicalTime kSecondsPerHour = 3600;
+constexpr LogicalTime kSecondsPerDay = 86400;
+constexpr LogicalTime kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// \brief Virtual clock driving the simulated job service.
+///
+/// The job service is "always online" (Sec 1.3); experiments advance this
+/// clock instead of sleeping, so recurring-instance boundaries, lock
+/// expiries, and view expiries are deterministic and fast to simulate.
+class SimulatedClock {
+ public:
+  explicit SimulatedClock(LogicalTime start = 0) : now_(start) {}
+
+  LogicalTime Now() const { return now_.load(std::memory_order_relaxed); }
+
+  void AdvanceSeconds(LogicalTime s) {
+    now_.fetch_add(s, std::memory_order_relaxed);
+  }
+  void AdvanceTo(LogicalTime t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<LogicalTime> now_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_CLOCK_H_

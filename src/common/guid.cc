@@ -1,0 +1,15 @@
+#include "common/guid.h"
+
+#include <atomic>
+
+#include "common/string_util.h"
+
+namespace cloudviews {
+
+std::string GenerateGuid() {
+  static std::atomic<uint64_t> counter{1};
+  return StrFormat("g-%016llx", static_cast<unsigned long long>(
+                                    counter.fetch_add(1)));
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,15 @@
+#ifndef CLOUDVIEWS_COMMON_GUID_H_
+#define CLOUDVIEWS_COMMON_GUID_H_
+
+#include <string>
+
+namespace cloudviews {
+
+/// Process-unique, deterministic-order GUID ("g-<counter hex>"). Stands in
+/// for the data-version GUIDs SCOPE attaches to stream versions; equality
+/// is all the system relies on.
+std::string GenerateGuid();
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_GUID_H_

@@ -1,0 +1,70 @@
+#ifndef CLOUDVIEWS_COMMON_RANDOM_H_
+#define CLOUDVIEWS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudviews {
+
+/// \brief Deterministic PRNG (xoshiro256**) used everywhere randomness is
+/// needed, so that workload generation and experiments are reproducible
+/// from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Gaussian via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with the given mean.
+  double Exponential(double mean);
+
+  /// Random lowercase identifier of the given length.
+  std::string Identifier(size_t len);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf-distributed integer generator over {0, ..., n-1}.
+///
+/// The paper's overlap frequencies are heavily skewed (Sec 2.4: median 2,
+/// 99th percentile 36); Zipf sampling reproduces that skew in the synthetic
+/// workload. Uses the standard rejection-inversion-free CDF table approach
+/// (fine for the n <= ~1e6 used here).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double theta);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_RANDOM_H_

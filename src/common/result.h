@@ -1,0 +1,74 @@
+#ifndef CLOUDVIEWS_COMMON_RESULT_H_
+#define CLOUDVIEWS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cloudviews {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// A Result is never empty: it is constructed from either a value or a
+/// non-OK Status. Accessing the value of an errored Result aborts in debug
+/// builds (assert), mirroring arrow::Result semantics.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK if a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Shorthand operators mirroring std::optional access.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of `rexpr` to `lhs`, or returns its error.
+#define CV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define CV_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define CV_ASSIGN_OR_RETURN_NAME(x, y) CV_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define CV_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CV_ASSIGN_OR_RETURN_IMPL(             \
+      CV_ASSIGN_OR_RETURN_NAME(_cv_result_, __COUNTER__), lhs, rexpr)
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_RESULT_H_

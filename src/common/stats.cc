@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cloudviews {
+
+void DistributionSummary::AddAll(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+double DistributionSummary::Sum() const {
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double DistributionSummary::Mean() const {
+  return samples_.empty() ? 0 : Sum() / static_cast<double>(samples_.size());
+}
+
+double DistributionSummary::Min() const {
+  EnsureSorted();
+  return samples_.empty() ? 0 : samples_.front();
+}
+
+double DistributionSummary::Max() const {
+  EnsureSorted();
+  return samples_.empty() ? 0 : samples_.back();
+}
+
+void DistributionSummary::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double DistributionSummary::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1 - frac) + samples_[lo + 1] * frac;
+}
+
+double DistributionSummary::CdfAt(double x) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double DistributionSummary::FractionAtLeast(double x) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(samples_.end() - it) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<double> DistributionSummary::CdfSeries(
+    const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(CdfAt(x));
+  return out;
+}
+
+std::string DistributionSummary::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f p50=%.3f p75=%.3f p95=%.3f p99=%.3f "
+                "max=%.3f",
+                count(), Mean(), Percentile(50), Percentile(75),
+                Percentile(95), Percentile(99), Max());
+  return buf;
+}
+
+std::vector<double> LogSpace(double lo, double hi, int points_per_decade) {
+  std::vector<double> xs;
+  double log_lo = std::log10(lo);
+  double log_hi = std::log10(hi);
+  int n = static_cast<int>((log_hi - log_lo) * points_per_decade) + 1;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(std::pow(10.0, log_lo + static_cast<double>(i) /
+                                             points_per_decade));
+  }
+  if (xs.empty() || xs.back() < hi) xs.push_back(hi);
+  return xs;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,57 @@
+#ifndef CLOUDVIEWS_COMMON_STATS_H_
+#define CLOUDVIEWS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cloudviews {
+
+/// \brief Accumulates samples and answers percentile / CDF queries.
+///
+/// Used by the workload analysis benches that reproduce the paper's
+/// cumulative-distribution figures (Figs 3-5) and by the analyzer's
+/// overlap-impact summaries.
+class DistributionSummary {
+ public:
+  void Add(double sample) { samples_.push_back(sample); }
+  void AddAll(const std::vector<double>& samples);
+
+  size_t count() const { return samples_.size(); }
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  /// Percentile in [0, 100] via linear interpolation on the sorted samples.
+  /// Returns 0 for an empty summary.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+
+  /// Fraction of samples <= x (empirical CDF). Returns 0 when empty.
+  double CdfAt(double x) const;
+
+  /// Fraction of samples >= x (complementary CDF). Returns 0 when empty.
+  double FractionAtLeast(double x) const;
+
+  /// Evaluates the CDF at each x in xs; convenient for printing figure
+  /// series.
+  std::vector<double> CdfSeries(const std::vector<double>& xs) const;
+
+  /// "n=... mean=... p50=... p95=... max=..." for logs and benches.
+  std::string ToString() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Log-spaced values from lo to hi inclusive, points_per_decade per decade.
+/// Used as x-axes for the paper's log-scale CDF plots.
+std::vector<double> LogSpace(double lo, double hi, int points_per_decade);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_STATS_H_

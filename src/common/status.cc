@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace cloudviews {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kExpired:
+      return "Expired";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kIOError:
+      return "IO error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,95 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace cloudviews {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char separator) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == separator) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t pos = 0;
+  for (;;) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += s.substr(pos);
+      return out;
+    }
+    out += s.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+}
+
+std::string HumanBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.1f %s", bytes, kUnits[unit]);
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,40 @@
+#ifndef CLOUDVIEWS_COMMON_STRING_UTIL_H_
+#define CLOUDVIEWS_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudviews {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins parts with the separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits on the separator character; empty tokens are preserved.
+std::vector<std::string> Split(std::string_view s, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Renders a byte count as "12.3 GB" style text.
+std::string HumanBytes(double bytes);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_STRING_UTIL_H_

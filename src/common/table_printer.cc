@@ -1,0 +1,56 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cloudviews {
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(StrFormat("%.*f", precision, v));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t ncols = headers_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> widths(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  measure(headers_);
+  for (const auto& r : rows_) measure(r);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << "  ";
+      os << c;
+      os << std::string(widths[i] - c.size(), ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::string rule;
+  for (size_t i = 0; i < ncols; ++i) {
+    rule += "  " + std::string(widths[i], '-');
+  }
+  os << rule << "\n";
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,35 @@
+#ifndef CLOUDVIEWS_COMMON_TABLE_PRINTER_H_
+#define CLOUDVIEWS_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudviews {
+
+/// \brief Aligned text-table renderer used by the figure benches to print
+/// the series a paper figure plots.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: formats each double with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,105 @@
+#include "core/cloudviews.h"
+
+#include <algorithm>
+
+namespace cloudviews {
+
+CloudViews::CloudViews(CloudViewsConfig config)
+    : config_(config), clock_(config.clock_start) {
+  storage_ = std::make_unique<StorageManager>(&clock_);
+  metadata_ = std::make_unique<MetadataService>(&clock_, storage_.get(),
+                                                config.metadata);
+  repository_ = std::make_unique<WorkloadRepository>();
+  job_service_ = std::make_unique<JobService>(
+      &clock_, storage_.get(), metadata_.get(), repository_.get(),
+      config.optimizer);
+}
+
+Result<JobResult> CloudViews::Submit(const JobDefinition& def,
+                                     bool enable_cloudviews) {
+  JobServiceOptions options;
+  options.enable_cloudviews = enable_cloudviews;
+  auto result = job_service_->SubmitJob(def, options);
+  if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++jobs_since_analysis_;
+    if (result->views_reused > 0 || result->views_materialized > 0) {
+      ++view_hits_since_analysis_;
+    }
+  }
+  return result;
+}
+
+AnalysisResult CloudViews::RunAnalyzerAndLoad() {
+  return RunAnalyzerAndLoad(0, clock_.Now() + 1);
+}
+
+AnalysisResult CloudViews::RunAnalyzerAndLoad(LogicalTime from,
+                                              LogicalTime to) {
+  CloudViewsAnalyzer analyzer(config_.analyzer);
+  AnalysisResult result = analyzer.Analyze(repository_->JobsInWindow(from, to));
+  metadata_->LoadAnalysis(result.annotations);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  jobs_since_analysis_ = 0;
+  view_hits_since_analysis_ = 0;
+  analysis_loaded_ = !result.annotations.empty();
+  return result;
+}
+
+Result<int> CloudViews::BuildViewsOffline(const JobDefinition& def) {
+  return job_service_->MaterializeOfflineViews(def);
+}
+
+size_t CloudViews::ReclaimViewStorage(double bytes_to_reclaim) {
+  // Same selection routine as Sec 5.2 with the objective flipped to min
+  // (Sec 5.4): drop the least useful views first.
+  struct Candidate {
+    Hash128 precise;
+    double utility;
+    double bytes;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& view : metadata_->ListViews()) {
+    Candidate c;
+    c.precise = view.precise_signature;
+    c.bytes = view.bytes;
+    c.utility = 0;
+    if (auto ann = metadata_->FindAnnotation(view.normalized_signature)) {
+      c.utility = static_cast<double>(ann->frequency - 1) *
+                  ann->avg_runtime_seconds;
+    }
+    candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.utility != b.utility) return a.utility < b.utility;
+              return b.bytes < a.bytes;  // bigger first on utility ties
+            });
+  double reclaimed = 0;
+  size_t dropped = 0;
+  for (const auto& c : candidates) {
+    if (reclaimed >= bytes_to_reclaim) break;
+    if (metadata_->DropView(c.precise).ok()) {
+      reclaimed += c.bytes;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+size_t CloudViews::PurgeExpired() {
+  size_t purged = metadata_->PurgeExpired();
+  purged += storage_->PurgeExpired();
+  return purged;
+}
+
+bool CloudViews::AnalysisLooksStale(double min_hit_rate) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!analysis_loaded_) return true;
+  if (jobs_since_analysis_ < 20) return false;  // not enough evidence yet
+  double hit_rate = static_cast<double>(view_hits_since_analysis_) /
+                    static_cast<double>(jobs_since_analysis_);
+  return hit_rate < min_hit_rate;
+}
+
+}  // namespace cloudviews

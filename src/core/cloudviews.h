@@ -1,0 +1,87 @@
+#ifndef CLOUDVIEWS_CORE_CLOUDVIEWS_H_
+#define CLOUDVIEWS_CORE_CLOUDVIEWS_H_
+
+#include <memory>
+
+#include "analyzer/analyzer.h"
+#include "metadata/metadata_service.h"
+#include "runtime/job_service.h"
+
+namespace cloudviews {
+
+struct CloudViewsConfig {
+  OptimizerConfig optimizer;
+  MetadataServiceConfig metadata;
+  AnalyzerConfig analyzer;
+  LogicalTime clock_start = 0;
+};
+
+/// \brief The end-to-end CLOUDVIEWS system (Fig 6): an analytics job
+/// service with the analyzer + metadata service + runtime wired together.
+///
+/// Typical use:
+/// \code
+///   CloudViews cv;
+///   ...write input streams via cv.storage()...
+///   cv.Submit(job);                  // day 1: plain runs, history recorded
+///   cv.RunAnalyzerAndLoad();         // mine overlaps, select views
+///   cv.Submit(job2);                 // day 2: views materialize + reuse
+/// \endcode
+class CloudViews {
+ public:
+  explicit CloudViews(CloudViewsConfig config = {});
+
+  SimulatedClock* clock() { return &clock_; }
+  StorageManager* storage() { return storage_.get(); }
+  MetadataService* metadata() { return metadata_.get(); }
+  WorkloadRepository* repository() { return repository_.get(); }
+  JobService* job_service() { return job_service_.get(); }
+  const CloudViewsConfig& config() const { return config_; }
+
+  /// Submits one job. CloudViews reuse/materialization is on by default;
+  /// pass false to run exactly as before (the opt-in flag of Sec 4).
+  Result<JobResult> Submit(const JobDefinition& def,
+                           bool enable_cloudviews = true);
+
+  /// Runs the analyzer over the whole repository (or a window) and loads
+  /// the resulting annotations into the metadata service.
+  AnalysisResult RunAnalyzerAndLoad();
+  AnalysisResult RunAnalyzerAndLoad(LogicalTime from, LogicalTime to);
+
+  /// Expires views: metadata entries first, then the backing files
+  /// (Sec 5.4); also sweeps any other expired streams.
+  size_t PurgeExpired();
+
+  /// Offline materialization (Sec 6.2): builds every annotated view that
+  /// `def`'s plan contains, as a standalone pre-job. Use with
+  /// AnalyzerConfig::offline_mode so the online runtime only reuses.
+  Result<int> BuildViewsOffline(const JobDefinition& def);
+
+  /// Admin storage reclamation (Sec 5.4): drops minimum-utility registered
+  /// views until at least `bytes_to_reclaim` of view storage is freed.
+  /// Metadata is cleaned before the files are deleted. Returns the number
+  /// of views dropped.
+  size_t ReclaimViewStorage(double bytes_to_reclaim);
+
+  /// Change detection heuristic of Sec 7.3: re-analysis is due when the
+  /// fraction of recent jobs that materialized or reused views drops below
+  /// `min_hit_rate` (the workload changed, signatures stopped matching).
+  bool AnalysisLooksStale(double min_hit_rate = 0.05) const;
+
+ private:
+  CloudViewsConfig config_;
+  SimulatedClock clock_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<MetadataService> metadata_;
+  std::unique_ptr<WorkloadRepository> repository_;
+  std::unique_ptr<JobService> job_service_;
+
+  mutable std::mutex stats_mu_;
+  uint64_t jobs_since_analysis_ = 0;
+  uint64_t view_hits_since_analysis_ = 0;
+  bool analysis_loaded_ = false;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_CLOUDVIEWS_H_

@@ -1,0 +1,104 @@
+#include "core/explain.h"
+
+#include "common/string_util.h"
+#include "storage/storage_manager.h"
+
+namespace cloudviews {
+
+std::string ExplainJob(const JobResult& result) {
+  std::string out;
+  out += StrFormat("job %llu\n",
+                   static_cast<unsigned long long>(result.job_id));
+  out += StrFormat(
+      "  compile %.3fms (metadata lookup %.1fms), estimated cost %.1f\n",
+      result.compile_seconds * 1000, result.metadata_lookup_seconds * 1000,
+      result.estimated_cost);
+  out += StrFormat(
+      "  run: latency %.3fms, cpu %.3fms, output %.0f rows / %s\n",
+      result.run_stats.latency_seconds * 1000,
+      result.run_stats.cpu_seconds * 1000, result.run_stats.output_rows,
+      HumanBytes(result.run_stats.output_bytes).c_str());
+  out += StrFormat(
+      "  cloudviews: %d view(s) reused, %d materialized, %d reuse "
+      "candidate(s) rejected on cost, %d build lock(s) denied\n",
+      result.views_reused, result.views_materialized,
+      result.reuse_rejected_by_cost, result.materialize_lock_denied);
+
+  if (result.executed_plan == nullptr) return out;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(result.executed_plan, &nodes);
+  for (PlanNode* n : nodes) {
+    if (n->kind() == OpKind::kViewRead) {
+      auto* view = static_cast<ViewReadNode*>(n);
+      Hash128 norm, precise;
+      uint64_t producer = 0;
+      std::string provenance = "unknown producer";
+      if (ParseViewPath(view->view_path(), &norm, &precise, &producer)) {
+        provenance = StrFormat(
+            "produced by job %llu",
+            static_cast<unsigned long long>(producer));
+      }
+      out += StrFormat("  reused view %s\n    %s; %.0f rows / %s; design "
+                       "%s\n",
+                       view->view_path().c_str(), provenance.c_str(),
+                       view->actual_rows(),
+                       HumanBytes(view->actual_bytes()).c_str(),
+                       view->props().ToString().c_str());
+    }
+    if (n->kind() == OpKind::kSpool) {
+      auto* spool = static_cast<SpoolNode*>(n);
+      out += StrFormat(
+          "  materialized view %s\n    design %s; lifetime %llds\n",
+          spool->view_path().c_str(), spool->design().ToString().c_str(),
+          static_cast<long long>(spool->lifetime_seconds()));
+    }
+  }
+  out += "  executed plan:\n";
+  for (const auto& line : Split(result.executed_plan->TreeString(), '\n')) {
+    if (!line.empty()) out += "    " + line + "\n";
+  }
+  return out;
+}
+
+std::string ExplainViewSelection(const AnalysisResult& analysis,
+                                 size_t limit) {
+  std::string out;
+  out += StrFormat(
+      "analysis over %zu job(s): %zu subgraph template(s) mined, %zu "
+      "selected (%.1fms)\n",
+      analysis.jobs_analyzed, analysis.subgraphs_mined,
+      analysis.selected.size(), analysis.analysis_seconds * 1000);
+  size_t n = std::min(limit, analysis.selected.size());
+  for (size_t i = 0; i < n; ++i) {
+    const SubgraphAggregate& agg = analysis.selected[i];
+    out += StrFormat(
+        "  #%zu %s (%s-rooted, %zu ops)\n", i + 1,
+        agg.normalized.ToHex().substr(0, 16).c_str(),
+        OpKindToString(agg.root_kind), agg.subtree_size);
+    out += StrFormat(
+        "     selected because: %lld occurrence(s) across %zu job(s) / %zu "
+        "user(s), avg runtime %.3fms -> utility %.4fs\n",
+        static_cast<long long>(agg.frequency), agg.jobs.size(),
+        agg.users.size(), agg.AvgLatency() * 1000, agg.TotalUtility());
+    out += StrFormat(
+        "     costs: %s storage per instance; view/query cost ratio %.3f\n",
+        HumanBytes(agg.AvgBytes()).c_str(), agg.ViewToQueryCostRatio());
+    int popular = 0, total_designs = 0;
+    for (const auto& [fp, entry] : agg.designs) {
+      total_designs += entry.first;
+      popular = std::max(popular, entry.first);
+    }
+    out += StrFormat(
+        "     design: %s (seen in %d of %d occurrences); lifetime %llds "
+        "from input lineage over {%s}\n",
+        agg.PopularDesign().ToString().c_str(), popular, total_designs,
+        static_cast<long long>(agg.max_recurrence_period),
+        Join(std::vector<std::string>(agg.input_templates.begin(),
+                                      agg.input_templates.end()),
+             ", ")
+            .c_str());
+  }
+  return out;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,70 @@
+#ifndef CLOUDVIEWS_EXEC_EXECUTOR_H_
+#define CLOUDVIEWS_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/operator_stats.h"
+#include "plan/plan_node.h"
+#include "storage/storage_manager.h"
+
+namespace cloudviews {
+
+/// \brief Per-job execution environment.
+struct ExecContext {
+  StorageManager* storage = nullptr;
+  uint64_t job_id = 0;
+
+  /// Invoked when a SpoolNode finishes writing its view — *before* the rest
+  /// of the job completes. This is the early-materialization hook
+  /// (Sec 6.4): the job manager publishes the view to the metadata service
+  /// from here so concurrent jobs can already reuse it.
+  std::function<void(const SpoolNode&, const StreamData&)>
+      on_view_materialized;
+
+  /// Expiry assigned to views materialized by this job (0 = never); set
+  /// from the analyzer's lineage-based estimate (Sec 5.4).
+  LogicalTime view_expiry = 0;
+};
+
+/// \brief Operator-at-a-time executor over the storage manager.
+///
+/// Each operator fully materializes its output (MonetDB-style), which keeps
+/// per-operator latency/cardinality/size attribution exact — precisely the
+/// statistics the CloudViews feedback loop consumes. Plans must be bound
+/// and have node ids assigned.
+class Executor {
+ public:
+  explicit Executor(ExecContext ctx) : ctx_(std::move(ctx)) {}
+
+  /// Runs the plan; job outputs (Output nodes) and views (Spool nodes) are
+  /// written to storage. Returns aggregate + per-operator statistics.
+  Result<JobRunStats> Execute(const PlanNodePtr& root);
+
+ private:
+  struct NodeResult {
+    Batch data;
+    double inclusive_seconds = 0;
+  };
+
+  Result<NodeResult> ExecuteNode(PlanNode* node, JobRunStats* stats);
+
+  ExecContext ctx_;
+};
+
+/// Concatenates batches into one (helper shared with storage/view code).
+Batch CombineBatches(const Schema& schema, const std::vector<Batch>& batches);
+
+/// Sorts `data` rows by the given keys (ascending/descending per key).
+/// Used by the Sort operator and by view physical design enforcement.
+Batch SortBatch(const Batch& data, const std::vector<SortKey>& keys);
+
+/// Splits rows by hash of the partitioning columns; returns one batch per
+/// partition (empty partitions included).
+Result<std::vector<Batch>> PartitionBatch(const Batch& data,
+                                          const Partitioning& partitioning);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXEC_EXECUTOR_H_

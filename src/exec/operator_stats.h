@@ -1,0 +1,48 @@
+#ifndef CLOUDVIEWS_EXEC_OPERATOR_STATS_H_
+#define CLOUDVIEWS_EXEC_OPERATOR_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "plan/plan_node.h"
+
+namespace cloudviews {
+
+/// \brief Runtime statistics of one executed operator, keyed by the plan
+/// node id.
+///
+/// These are the measurements the CloudViews feedback loop reconciles with
+/// compile-time query trees (Sec 5.1): latency, cardinality, data size and
+/// resource consumption per query subgraph.
+struct OperatorRuntimeStats {
+  int node_id = -1;
+  OpKind kind = OpKind::kExtract;
+  /// Output cardinality.
+  double rows = 0;
+  /// Output size in bytes.
+  double bytes = 0;
+  /// Wall-clock seconds spent in this operator alone.
+  double exclusive_seconds = 0;
+  /// Wall-clock seconds of the whole subtree rooted here (the "latency" of
+  /// the subgraph).
+  double inclusive_seconds = 0;
+  /// CPU seconds attributed to this operator (thread CPU clock; differs
+  /// from wall time when jobs run concurrently).
+  double cpu_seconds = 0;
+};
+
+/// Stats for all operators of one executed job plan.
+using PlanRuntimeStats = std::map<int, OperatorRuntimeStats>;
+
+/// Aggregate measures for a whole job run.
+struct JobRunStats {
+  double latency_seconds = 0;  // end-to-end wall clock
+  double cpu_seconds = 0;      // sum of operator CPU times
+  double output_rows = 0;
+  double output_bytes = 0;
+  PlanRuntimeStats operators;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXEC_OPERATOR_STATS_H_

@@ -1,0 +1,38 @@
+#ifndef CLOUDVIEWS_EXEC_PROCESSOR_REGISTRY_H_
+#define CLOUDVIEWS_EXEC_PROCESSOR_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "types/batch.h"
+
+namespace cloudviews {
+
+/// A row-wise user-defined operator body: consumes a batch, produces a
+/// batch with the declared output schema (may change the row count).
+using ProcessorFn =
+    std::function<Status(const Batch& input, Batch* output)>;
+
+/// \brief Catalog of PROCESS operator implementations (SCOPE UDOs).
+///
+/// Shipping a new library version re-registers the processor; the plan's
+/// ProcessNode carries library+version so precise signatures change.
+class ProcessorRegistry {
+ public:
+  static ProcessorRegistry* Global();
+
+  void Register(const std::string& name, ProcessorFn fn);
+  Result<const ProcessorFn*> Lookup(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+ private:
+  ProcessorRegistry();
+
+  std::unordered_map<std::string, ProcessorFn> entries_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXEC_PROCESSOR_REGISTRY_H_

@@ -1,0 +1,59 @@
+#ifndef CLOUDVIEWS_EXPR_AGGREGATE_H_
+#define CLOUDVIEWS_EXPR_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+
+namespace cloudviews {
+
+enum class AggFunc : int {
+  kCount = 0,  // count(*) when arg is null, else count of non-null arg
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kAvg = 4,
+};
+
+const char* AggFuncToString(AggFunc f);
+bool AggFuncFromString(const std::string& name, AggFunc* out);
+
+/// \brief One aggregate in a GROUP BY operator's output.
+struct AggregateSpec {
+  AggFunc func;
+  ExprPtr arg;  // nullptr for count(*)
+  std::string output_name;
+
+  /// Binds the argument and returns the aggregate's output type.
+  Result<DataType> Bind(const Schema& input) const;
+
+  void HashInto(HashBuilder* hb, SignatureMode mode) const;
+  std::string ToString() const;
+  AggregateSpec Clone() const;
+};
+
+/// \brief Incremental accumulator for one aggregate over one group.
+class AggState {
+ public:
+  explicit AggState(AggFunc func) : func_(func) {}
+
+  void Update(const Value& v);
+  /// Combines with row counting for count(*) (no argument evaluated).
+  void UpdateCountStar() { ++count_; }
+
+  Value Finish(DataType output_type) const;
+
+ private:
+  AggFunc func_;
+  int64_t count_ = 0;
+  bool any_ = false;
+  double sum_ = 0;
+  int64_t isum_ = 0;
+  Value min_, max_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXPR_AGGREGATE_H_

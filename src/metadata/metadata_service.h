@@ -1,0 +1,135 @@
+#ifndef CLOUDVIEWS_METADATA_METADATA_SERVICE_H_
+#define CLOUDVIEWS_METADATA_METADATA_SERVICE_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "optimizer/view_interfaces.h"
+#include "storage/storage_manager.h"
+
+namespace cloudviews {
+
+struct MetadataServiceConfig {
+  /// Build-lock expiry = max(min_lock_seconds, multiplier * mined average
+  /// runtime of the view subgraph): once expired, another job may retry
+  /// the materialization — the fault-tolerance story of Sec 6.1.
+  double lock_expiry_multiplier = 2.0;
+  double min_lock_seconds = 60;
+
+  /// Simulated service-side lookup latency: the paper measured 19ms with a
+  /// single service thread and 14.3ms with 5 threads (Sec 7.3).
+  double base_lookup_latency_seconds = 0.019;
+  int service_threads = 1;
+};
+
+/// One analyzer output row: the annotation plus the job-metadata tags used
+/// to build the inverted index (Sec 6.1: "extract tags from its
+/// corresponding job metadata ... create an inverted index on the tags").
+struct AnnotatedComputation {
+  ViewAnnotation annotation;
+  std::vector<std::string> tags;
+};
+
+/// \brief The CloudViews metadata service (Fig 9), backed by AzureSQL in
+/// production; here an in-memory, thread-safe store on the simulated
+/// cluster.
+class MetadataService : public ViewCatalogInterface {
+ public:
+  MetadataService(SimulatedClock* clock, StorageManager* storage,
+                  MetadataServiceConfig config = {})
+      : clock_(clock), storage_(storage), config_(config) {}
+
+  /// Installs a new analysis (replacing the previous one), rebuilding the
+  /// tag inverted index. Called when the analyzer output is refreshed.
+  void LoadAnalysis(const std::vector<AnnotatedComputation>& computations);
+
+  /// Step 1/2 of Fig 9: one request per job returning every annotation
+  /// relevant to any of the job's tags (may contain false positives — the
+  /// optimizer re-matches signatures). Returns the simulated service
+  /// latency through `latency_seconds` when non-null.
+  std::vector<ViewAnnotation> GetRelevantViews(
+      const std::vector<std::string>& tags,
+      double* latency_seconds = nullptr) const;
+
+  /// Looks up the loaded annotation for one computation template (admin
+  /// drill-down and eviction use this).
+  std::optional<ViewAnnotation> FindAnnotation(
+      const Hash128& normalized) const;
+
+  // --- ViewCatalogInterface (optimizer-facing) -----------------------------
+
+  std::optional<MaterializedViewInfo> FindMaterialized(
+      const Hash128& normalized, const Hash128& precise) override;
+
+  bool ProposeMaterialize(const Hash128& normalized, const Hash128& precise,
+                          uint64_t job_id,
+                          double expected_build_seconds) override;
+
+  // --- Job-manager-facing ---------------------------------------------------
+
+  /// Step 5/6 of Fig 9: registers the materialized view and releases the
+  /// build lock. Invoked on early materialization, i.e. possibly before
+  /// the producing job finishes (Sec 6.4).
+  void ReportMaterialized(const MaterializedViewInfo& info,
+                          LogicalTime expires_at);
+
+  /// Releases a build lock without registering (job failed after
+  /// proposing). The lock also auto-expires.
+  void AbandonLock(const Hash128& precise, uint64_t job_id);
+
+  /// Removes expired views from the metadata *first*, then deletes their
+  /// files (Sec 5.4 ordering). Returns the number of views purged.
+  size_t PurgeExpired();
+
+  /// Drops a view outright (admin reclamation, Sec 5.4).
+  Status DropView(const Hash128& precise);
+
+  // --- Introspection ----------------------------------------------------------
+
+  struct Counters {
+    uint64_t lookups = 0;
+    uint64_t proposals = 0;
+    uint64_t locks_granted = 0;
+    uint64_t locks_denied = 0;
+    uint64_t views_registered = 0;
+    uint64_t views_purged = 0;
+  };
+  Counters counters() const;
+
+  size_t NumRegisteredViews() const;
+  size_t NumAnnotations() const;
+  std::vector<MaterializedViewInfo> ListViews() const;
+
+  /// Simulated per-request latency under the configured thread count.
+  double SimulatedLookupLatency() const;
+
+ private:
+  struct BuildLock {
+    uint64_t job_id;
+    LogicalTime expires_at;
+  };
+  struct RegisteredView {
+    MaterializedViewInfo info;
+    LogicalTime expires_at;
+  };
+
+  SimulatedClock* clock_;
+  StorageManager* storage_;
+  MetadataServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<AnnotatedComputation> computations_;
+  std::unordered_map<std::string, std::set<size_t>> tag_index_;
+  std::unordered_map<Hash128, RegisteredView, Hash128Hasher> views_;
+  std::unordered_map<Hash128, BuildLock, Hash128Hasher> locks_;
+  mutable Counters counters_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_METADATA_METADATA_SERVICE_H_

@@ -1,0 +1,242 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signature/signature.h"
+
+namespace cloudviews {
+
+double CostModel::PredicateSelectivity(const Expr& predicate) {
+  switch (predicate.kind()) {
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(predicate);
+      switch (cmp.op()) {
+        case CompareOp::kEq:
+          return 0.1;
+        case CompareOp::kNe:
+          return 0.9;
+        default:
+          return 0.33;  // range predicates
+      }
+    }
+    case ExprKind::kLogical: {
+      const auto& lg = static_cast<const LogicalExpr&>(predicate);
+      if (lg.op() == LogicalOp::kNot) {
+        return 1.0 - PredicateSelectivity(*lg.children()[0]);
+      }
+      double a = PredicateSelectivity(*lg.children()[0]);
+      double b = PredicateSelectivity(*lg.children()[1]);
+      if (lg.op() == LogicalOp::kAnd) return a * b;
+      return std::min(1.0, a + b - a * b);
+    }
+    case ExprKind::kUdfCall:
+      return 0.5;  // opaque user code
+    default:
+      return 0.5;
+  }
+}
+
+double CostModel::ViewReadCost(double rows, double bytes) const {
+  return rows * config_.view_read_weight + bytes * config_.bytes_weight;
+}
+
+double CostModel::LocalCost(const PlanNode& node, double input_rows,
+                            double input_bytes) const {
+  const double out_rows = node.estimates().rows;
+  const double out_bytes = node.estimates().bytes;
+  switch (node.kind()) {
+    case OpKind::kExtract:
+      return out_rows * config_.scan_weight + out_bytes * config_.bytes_weight;
+    case OpKind::kViewRead:
+      return ViewReadCost(out_rows, out_bytes);
+    case OpKind::kFilter:
+      return input_rows * config_.filter_weight;
+    case OpKind::kProject:
+      return input_rows * config_.project_weight;
+    case OpKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      double w = join.algorithm() == JoinAlgorithm::kMerge
+                     ? config_.merge_join_weight
+                     : config_.hash_join_weight;
+      return input_rows * w + out_rows * 0.1;
+    }
+    case OpKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      double w = agg.algorithm() == AggAlgorithm::kStream
+                     ? config_.stream_agg_weight
+                     : config_.hash_agg_weight;
+      return input_rows * w;
+    }
+    case OpKind::kSort:
+      return input_rows * config_.sort_weight *
+             std::log2(std::max(2.0, input_rows));
+    case OpKind::kExchange:
+      return input_rows * config_.shuffle_weight +
+             input_bytes * config_.bytes_weight;
+    case OpKind::kUnionAll:
+      return input_rows * 0.05;
+    case OpKind::kProcess:
+      return input_rows * config_.process_weight;
+    case OpKind::kReduce:
+      // Group-wise user code: per-row processing plus group bookkeeping.
+      return input_rows * config_.process_weight * 1.2;
+    case OpKind::kTop:
+      return out_rows * config_.top_weight;
+    case OpKind::kSpool: {
+      // Writing the view plus enforcing its physical design.
+      const auto& spool = static_cast<const SpoolNode&>(node);
+      double cost = input_rows * config_.spool_weight +
+                    input_bytes * config_.bytes_weight;
+      if (spool.design().partitioning.IsSpecified()) {
+        cost += input_rows * config_.shuffle_weight * 0.5;
+      }
+      if (spool.design().sort_order.IsSorted()) {
+        cost += input_rows * config_.sort_weight *
+                std::log2(std::max(2.0, input_rows)) * 0.5;
+      }
+      return cost;
+    }
+    case OpKind::kOutput:
+      return input_rows * config_.output_weight +
+             input_bytes * config_.bytes_weight;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Effective parallelism of an operator: bounded by the partition count of
+/// its delivered distribution (singleton stages run at dop 1).
+int EffectiveDop(const PlanNode& node, int default_dop) {
+  Partitioning p = node.Delivered().partitioning;
+  if (p.scheme == PartitionScheme::kSingleton) return 1;
+  if (p.partition_count > 0) return std::min(default_dop, p.partition_count);
+  return default_dop;
+}
+
+void AnnotateInternal(PlanNode* node, const CostModel& model,
+                      const StatsProviderInterface* feedback,
+                      const StorageManager* storage) {
+  double input_rows = 0;
+  double input_bytes = 0;
+  double children_cost = 0;
+  for (auto& c : node->mutable_children()) {
+    AnnotateInternal(c.get(), model, feedback, storage);
+    input_rows += c->estimates().rows;
+    input_bytes += c->estimates().bytes;
+    children_cost += c->estimates().cost;
+  }
+
+  NodeEstimates& est = node->estimates();
+  est.from_feedback = false;
+  double row_width =
+      static_cast<double>(node->output_schema().EstimatedRowWidth());
+
+  switch (node->kind()) {
+    case OpKind::kExtract: {
+      auto* extract = static_cast<ExtractNode*>(node);
+      est.rows = 1000;  // default guess for unknown inputs
+      est.bytes = est.rows * row_width;
+      if (storage != nullptr) {
+        auto stream = storage->OpenStream(extract->stream_name());
+        if (stream.ok()) {
+          est.rows = static_cast<double>((*stream)->total_rows);
+          est.bytes = static_cast<double>((*stream)->total_bytes);
+        }
+      }
+      break;
+    }
+    case OpKind::kViewRead: {
+      auto* view = static_cast<ViewReadNode*>(node);
+      est.rows = view->actual_rows();
+      est.bytes = view->actual_bytes();
+      est.from_feedback = true;  // actuals from the materialized instance
+      break;
+    }
+    case OpKind::kFilter: {
+      auto* filter = static_cast<FilterNode*>(node);
+      est.rows = input_rows *
+                 CostModel::PredicateSelectivity(*filter->predicate());
+      est.bytes = est.rows * row_width;
+      break;
+    }
+    case OpKind::kProject:
+      est.rows = input_rows;
+      est.bytes = est.rows * row_width;
+      break;
+    case OpKind::kJoin: {
+      double l = node->children()[0]->estimates().rows;
+      double r = node->children()[1]->estimates().rows;
+      est.rows = std::max(1.0, l * r / std::max({l, r, 1.0})) * 1.2;
+      auto* join = static_cast<JoinNode*>(node);
+      if (join->join_type() == JoinType::kLeftOuter) {
+        est.rows = std::max(est.rows, l);
+      }
+      est.bytes = est.rows * row_width;
+      break;
+    }
+    case OpKind::kAggregate: {
+      auto* agg = static_cast<AggregateNode*>(node);
+      if (agg->group_keys().empty()) {
+        est.rows = 1;
+      } else {
+        est.rows = std::max(1.0, std::pow(input_rows, 0.8));
+      }
+      est.bytes = est.rows * row_width;
+      break;
+    }
+    case OpKind::kTop: {
+      auto* top = static_cast<TopNode*>(node);
+      est.rows = std::min(input_rows, static_cast<double>(top->limit()));
+      est.bytes = est.rows * row_width;
+      break;
+    }
+    case OpKind::kUnionAll:
+      est.rows = input_rows;
+      est.bytes = input_bytes;
+      break;
+    case OpKind::kProcess:
+      est.rows = input_rows;  // opaque: assume 1:1 until feedback corrects
+      est.bytes = est.rows * row_width;
+      break;
+    case OpKind::kReduce:
+      // Opaque group-wise code: assume roughly one output run per group.
+      est.rows = std::max(1.0, std::pow(input_rows, 0.8));
+      est.bytes = est.rows * row_width;
+      break;
+    case OpKind::kSort:
+    case OpKind::kExchange:
+    case OpKind::kSpool:
+    case OpKind::kOutput:
+      est.rows = input_rows;
+      est.bytes = input_bytes;
+      break;
+  }
+
+  // The feedback loop: replace estimates with observed statistics for this
+  // computation template when prior runs exist (Sec 5.1).
+  if (feedback != nullptr && IsReusableRoot(*node)) {
+    Hash128 normalized = node->SubtreeHash(SignatureMode::kNormalized);
+    if (auto observed = feedback->Lookup(normalized)) {
+      est.rows = observed->rows;
+      est.bytes = observed->bytes;
+      est.from_feedback = true;
+    }
+  }
+
+  int dop = EffectiveDop(*node, model.config().default_dop);
+  est.cost = children_cost +
+             model.LocalCost(*node, input_rows, input_bytes) /
+                 static_cast<double>(dop);
+}
+
+}  // namespace
+
+void CostModel::Annotate(PlanNode* root,
+                         const StatsProviderInterface* feedback,
+                         const StorageManager* storage) const {
+  AnnotateInternal(root, *this, feedback, storage);
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,79 @@
+#ifndef CLOUDVIEWS_OPTIMIZER_OPTIMIZER_H_
+#define CLOUDVIEWS_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/physical_planner.h"
+#include "optimizer/view_interfaces.h"
+#include "optimizer/view_rewriter.h"
+#include "plan/plan_node.h"
+
+namespace cloudviews {
+
+struct OptimizerConfig {
+  CostModelConfig cost;
+  PhysicalPlannerConfig physical;
+  /// Logical rewrites (filter pushdown etc.) on/off — ablation knob.
+  bool enable_logical_rewrites = true;
+  /// Per-job cap on online view materializations; "could be changed by the
+  /// user via a job submission parameter" (Sec 6.2).
+  int max_materialized_views_per_job = 1;
+  /// Skip materializing a view whose estimated write cost exceeds this
+  /// fraction of the job's own cost (0 disables the gate). Keeps cheap
+  /// jobs from paying for expensive views; a larger job builds them.
+  double max_materialize_cost_fraction = 1.0;
+};
+
+/// Everything the optimizer consults for one compilation.
+struct OptimizeContext {
+  /// Compile-time statistics for input streams; may be null.
+  const StorageManager* storage = nullptr;
+  /// Prior-run statistics (the feedback loop); may be null.
+  const StatsProviderInterface* feedback = nullptr;
+  /// Metadata service view; null disables CloudViews entirely.
+  ViewCatalogInterface* view_catalog = nullptr;
+  /// Annotations relevant to this job, fetched from the metadata service.
+  std::vector<ViewAnnotation> annotations;
+  uint64_t job_id = 0;
+};
+
+struct OptimizedPlan {
+  PlanNodePtr root;
+  double estimated_cost = 0;
+  int views_reused = 0;
+  int views_materialized = 0;
+  int reuse_rejected_by_cost = 0;
+  int materialize_lock_denied = 0;
+  int materialize_skipped_by_cost = 0;
+  /// Wall time spent optimizing (reported in the overheads study, Sec 7.3).
+  double optimize_seconds = 0;
+};
+
+/// \brief The query optimizer: logical rewrites, physical planning, and the
+/// CloudViews reuse / online-materialization tasks (Fig 10).
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerConfig config = {})
+      : config_(config),
+        cost_model_(config.cost),
+        physical_planner_(config.physical) {}
+
+  const OptimizerConfig& config() const { return config_; }
+
+  /// Compiles a logical plan into an executable physical plan. The input
+  /// tree is not modified (it is cloned internally). The result is bound
+  /// and has node ids assigned.
+  Result<OptimizedPlan> Optimize(const PlanNodePtr& logical,
+                                 const OptimizeContext& ctx) const;
+
+ private:
+  OptimizerConfig config_;
+  CostModel cost_model_;
+  PhysicalPlanner physical_planner_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,29 @@
+#ifndef CLOUDVIEWS_OPTIMIZER_RULES_H_
+#define CLOUDVIEWS_OPTIMIZER_RULES_H_
+
+#include "plan/plan_node.h"
+
+namespace cloudviews {
+
+/// \brief Logical rewrite rules applied before physical planning.
+///
+/// All rules are deterministic, so recurring instances of the same template
+/// always produce identical plans — a prerequisite for signature matching.
+/// The returned tree is unbound; the caller re-binds.
+
+/// Pushes Filter nodes as close to the leaves as possible: below
+/// Sort / Exchange / Top-less pass-through operators, through Project when
+/// the predicate references only pass-through columns (with renaming), and
+/// into the matching side(s) of a Join / both sides of a UnionAll.
+PlanNodePtr PushDownFilters(PlanNodePtr root);
+
+/// Merges stacked Filter nodes into a single conjunctive predicate.
+PlanNodePtr MergeAdjacentFilters(PlanNodePtr root);
+
+/// Removes Exchange / Sort enforcers whose input already delivers the
+/// properties they would establish (requires a bound tree).
+PlanNodePtr RemoveRedundantEnforcers(PlanNodePtr root);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OPTIMIZER_RULES_H_

@@ -1,0 +1,87 @@
+#ifndef CLOUDVIEWS_OPTIMIZER_VIEW_INTERFACES_H_
+#define CLOUDVIEWS_OPTIMIZER_VIEW_INTERFACES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "plan/physical_properties.h"
+
+namespace cloudviews {
+
+/// \brief Output of the CloudViews analyzer for one selected overlapping
+/// computation: "future jobs must materialize and reuse this subgraph"
+/// (Sec 4, query annotations).
+struct ViewAnnotation {
+  /// Identity of the computation template across recurring instances.
+  Hash128 normalized_signature;
+  /// Physical design mined from the consumers' required properties
+  /// (Sec 5.3).
+  PhysicalProperties design;
+  /// Statistics observed in prior runs (the feedback loop).
+  double expected_rows = 0;
+  double expected_bytes = 0;
+  double avg_runtime_seconds = 0;
+  /// How often the subgraph occurred in the analyzed window.
+  int64_t frequency = 0;
+  /// How long a materialized instance stays useful, from input lineage
+  /// (Sec 5.4); added to the materialization time to get the absolute
+  /// expiry.
+  LogicalTime lifetime_seconds = 0;
+  /// Offline mode: materialize in a standalone pre-job instead of inline
+  /// (Sec 6.2, "offline view materialization mode").
+  bool offline = false;
+};
+
+/// A view instance that is already materialized and available.
+struct MaterializedViewInfo {
+  std::string path;
+  Hash128 normalized_signature;
+  Hash128 precise_signature;
+  uint64_t producer_job_id = 0;
+  PhysicalProperties design;
+  double rows = 0;
+  double bytes = 0;
+};
+
+/// \brief The slice of the metadata service the optimizer interacts with
+/// (steps 2-4 of Fig 9).
+class ViewCatalogInterface {
+ public:
+  virtual ~ViewCatalogInterface() = default;
+
+  /// Step 5-of-Fig-7 matching: is this precise computation materialized?
+  virtual std::optional<MaterializedViewInfo> FindMaterialized(
+      const Hash128& normalized, const Hash128& precise) = 0;
+
+  /// Step 3/4 of Fig 9: try to take the exclusive build lock. Returns true
+  /// if this job should materialize the view, false if another job holds
+  /// the lock or the view already exists.
+  virtual bool ProposeMaterialize(const Hash128& normalized,
+                                  const Hash128& precise, uint64_t job_id,
+                                  double expected_build_seconds) = 0;
+};
+
+/// Runtime statistics observed for a subgraph template in prior runs.
+struct SubgraphObservedStats {
+  double rows = 0;
+  double bytes = 0;
+  double latency_seconds = 0;
+  double cpu_seconds = 0;
+  int64_t observations = 0;
+};
+
+/// \brief Source of prior-run statistics for the feedback loop (Sec 5.1).
+class StatsProviderInterface {
+ public:
+  virtual ~StatsProviderInterface() = default;
+
+  virtual std::optional<SubgraphObservedStats> Lookup(
+      const Hash128& normalized_signature) const = 0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OPTIMIZER_VIEW_INTERFACES_H_

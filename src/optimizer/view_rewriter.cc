@@ -1,0 +1,136 @@
+#include "optimizer/view_rewriter.h"
+
+#include <algorithm>
+
+#include "signature/signature.h"
+#include "storage/storage_manager.h"
+
+namespace cloudviews {
+
+AnnotationIndex IndexAnnotations(const std::vector<ViewAnnotation>& anns) {
+  AnnotationIndex index;
+  for (const auto& a : anns) {
+    index.emplace(a.normalized_signature, a);
+  }
+  return index;
+}
+
+PlanNodePtr ViewRewriter::ApplyReuse(PlanNodePtr root,
+                                     const AnnotationIndex& annotations,
+                                     ReuseStats* stats) {
+  if (annotations.empty() || catalog_ == nullptr) return root;
+  return ReuseInternal(std::move(root), annotations, stats);
+}
+
+PlanNodePtr ViewRewriter::ReuseInternal(PlanNodePtr node,
+                                        const AnnotationIndex& annotations,
+                                        ReuseStats* stats) {
+  // Top-down: try the largest subgraph first (Sec 6.3).
+  if (IsReusableRoot(*node) && node->kind() != OpKind::kOutput) {
+    Hash128 normalized = node->SubtreeHash(SignatureMode::kNormalized);
+    auto it = annotations.find(normalized);
+    if (it != annotations.end()) {
+      Hash128 precise = node->SubtreeHash(SignatureMode::kPrecise);
+      auto view = catalog_->FindMaterialized(normalized, precise);
+      if (view.has_value()) {
+        // Cost-based acceptance: reading the view must beat recomputing
+        // the subtree (the optimizer may discard an expensive view,
+        // Sec 4 requirement 4). View scans parallelize like any other
+        // partitioned stage, so compare at the same DOP as subtree costs.
+        double read_cost =
+            cost_model_->ViewReadCost(view->rows, view->bytes) /
+            std::max(1, cost_model_->config().default_dop);
+        double compute_cost = node->estimates().cost;
+        if (read_cost < compute_cost) {
+          auto replacement = std::make_shared<ViewReadNode>(
+              view->path, normalized, precise, node->output_schema(),
+              view->design, view->rows, view->bytes);
+          Status st = replacement->Bind();
+          if (st.ok()) {
+            ++stats->views_reused;
+            return replacement;
+          }
+        } else {
+          ++stats->rejected_by_cost;
+        }
+      }
+    }
+  }
+  for (auto& c : node->mutable_children()) {
+    c = ReuseInternal(c, annotations, stats);
+  }
+  return node;
+}
+
+PlanNodePtr ViewRewriter::ApplyMaterialization(
+    PlanNodePtr root, const AnnotationIndex& annotations, uint64_t job_id,
+    int max_per_job, double job_cost, double max_cost_fraction,
+    MaterializeStats* stats) {
+  if (annotations.empty() || catalog_ == nullptr || max_per_job <= 0) {
+    return root;
+  }
+  int budget = max_per_job;
+  double max_spool_cost = max_cost_fraction > 0 && job_cost > 0
+                              ? max_cost_fraction * job_cost
+                              : 0;  // 0 = no gate
+  return MaterializeInternal(std::move(root), annotations, job_id,
+                             max_per_job, max_spool_cost, &budget, stats);
+}
+
+PlanNodePtr ViewRewriter::MaterializeInternal(
+    PlanNodePtr node, const AnnotationIndex& annotations, uint64_t job_id,
+    int max_per_job, double max_spool_cost, int* budget,
+    MaterializeStats* stats) {
+  // Bottom-up: smaller views first, as they typically have more overlaps
+  // (Sec 6.2).
+  for (auto& c : node->mutable_children()) {
+    c = MaterializeInternal(c, annotations, job_id, max_per_job,
+                            max_spool_cost, budget, stats);
+  }
+  if (*budget <= 0) return node;
+  if (!IsReusableRoot(*node) || node->kind() == OpKind::kOutput) return node;
+  // Never spool a bare input scan: that would only copy the input.
+  if (node->kind() == OpKind::kExtract) return node;
+
+  Hash128 normalized = node->SubtreeHash(SignatureMode::kNormalized);
+  auto it = annotations.find(normalized);
+  if (it == annotations.end()) return node;
+  const ViewAnnotation& ann = it->second;
+  if (ann.offline) return node;  // built by a dedicated offline job instead
+
+  // Cost gate: don't let a cheap job pay for an expensive view build; a
+  // later job containing the same computation will build it instead.
+  if (max_spool_cost > 0) {
+    double rows = node->estimates().rows;
+    double bytes = node->estimates().bytes;
+    double spool_cost =
+        (rows * cost_model_->config().spool_weight +
+         bytes * cost_model_->config().bytes_weight) /
+        std::max(1, cost_model_->config().default_dop);
+    if (spool_cost > max_spool_cost) {
+      ++stats->skipped_by_cost;
+      return node;
+    }
+  }
+
+  Hash128 precise = node->SubtreeHash(SignatureMode::kPrecise);
+  if (catalog_->FindMaterialized(normalized, precise).has_value()) {
+    // Already available: the reuse pass either used it or rejected it on
+    // cost; re-materializing would be pure waste.
+    return node;
+  }
+  if (!catalog_->ProposeMaterialize(normalized, precise, job_id,
+                                    ann.avg_runtime_seconds)) {
+    ++stats->lock_denied;
+    return node;
+  }
+  std::string path = EncodeViewPath(normalized, precise, job_id);
+  auto spool = std::make_shared<SpoolNode>(node, path, normalized, precise,
+                                           ann.design);
+  spool->set_lifetime_seconds(ann.lifetime_seconds);
+  --*budget;
+  ++stats->views_materialized;
+  return spool;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,84 @@
+#ifndef CLOUDVIEWS_OPTIMIZER_VIEW_REWRITER_H_
+#define CLOUDVIEWS_OPTIMIZER_VIEW_REWRITER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/view_interfaces.h"
+#include "plan/plan_node.h"
+
+namespace cloudviews {
+
+/// Annotations indexed by normalized signature for O(1) subgraph matching.
+using AnnotationIndex =
+    std::unordered_map<Hash128, ViewAnnotation, Hash128Hasher>;
+
+AnnotationIndex IndexAnnotations(const std::vector<ViewAnnotation>& anns);
+
+/// \brief Implements the two view tasks of Fig 10.
+///
+/// *Reuse* (upper half): top-down, largest-first matching of normalized
+/// signatures, precise-signature confirmation against the metadata service,
+/// and a cost-based decision to read the materialized view instead of
+/// recomputing. *Materialization* (lower half): bottom-up matching,
+/// propose-to-materialize locking, and Spool insertion with a per-job
+/// limit.
+class ViewRewriter {
+ public:
+  ViewRewriter(const CostModel* cost_model, ViewCatalogInterface* catalog)
+      : cost_model_(cost_model), catalog_(catalog) {}
+
+  struct ReuseStats {
+    int views_reused = 0;
+    /// Matches rejected by the cost model (view read too expensive).
+    int rejected_by_cost = 0;
+  };
+
+  /// Replaces matching, already-materialized subgraphs with ViewRead scans.
+  /// The plan must be bound with estimates annotated. Returns the (possibly
+  /// new) root; the caller re-binds and repairs physical properties.
+  PlanNodePtr ApplyReuse(PlanNodePtr root, const AnnotationIndex& annotations,
+                         ReuseStats* stats);
+
+  struct MaterializeStats {
+    int views_materialized = 0;
+    /// Proposals denied because another job holds the build lock or the
+    /// view already exists.
+    int lock_denied = 0;
+    /// Matches skipped because writing the view would cost more than
+    /// `max_cost_fraction` of this job (a later, larger job builds it).
+    int skipped_by_cost = 0;
+  };
+
+  /// Wraps matching, not-yet-materialized subgraphs in Spool nodes (after
+  /// winning the metadata-service lock). Bottom-up, smaller views first,
+  /// at most `max_per_job` spools (Sec 6.2). `job_cost` is the estimated
+  /// cost of the whole job; a spool whose write cost exceeds
+  /// `max_cost_fraction` of it is skipped (Sec 4: the optimizer may deem a
+  /// view too expensive).
+  PlanNodePtr ApplyMaterialization(PlanNodePtr root,
+                                   const AnnotationIndex& annotations,
+                                   uint64_t job_id, int max_per_job,
+                                   double job_cost,
+                                   double max_cost_fraction,
+                                   MaterializeStats* stats);
+
+ private:
+  PlanNodePtr ReuseInternal(PlanNodePtr node,
+                            const AnnotationIndex& annotations,
+                            ReuseStats* stats);
+  PlanNodePtr MaterializeInternal(PlanNodePtr node,
+                                  const AnnotationIndex& annotations,
+                                  uint64_t job_id, int max_per_job,
+                                  double max_spool_cost, int* budget,
+                                  MaterializeStats* stats);
+
+  const CostModel* cost_model_;
+  ViewCatalogInterface* catalog_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OPTIMIZER_VIEW_REWRITER_H_

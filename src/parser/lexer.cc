@@ -1,0 +1,126 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace cloudviews {
+
+bool Token::IsKeyword(const std::string& upper) const {
+  if (type != TokenType::kIdent) return false;
+  if (text.size() != upper.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) != upper[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < text.size() ? text[i + off] : '\0';
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && peek(1) == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back({TokenType::kIdent, text.substr(start, i - start),
+                        line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              text[i] == '.')) {
+        if (text[i] == '.') {
+          // A second dot ends the number (e.g. ranges are not supported).
+          if (is_float) break;
+          is_float = true;
+        }
+        ++i;
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInt,
+                        text.substr(start, i - start), line});
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= text.size()) {
+        return Status::ParseError(
+            StrFormat("unterminated string at line %d", line));
+      }
+      tokens.push_back({TokenType::kString, text.substr(start, i - start),
+                        line});
+      ++i;  // closing quote
+      continue;
+    }
+    if (c == '@') {
+      size_t start = ++i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      if (i == start) {
+        return Status::ParseError(
+            StrFormat("'@' without parameter name at line %d", line));
+      }
+      tokens.push_back({TokenType::kParam, text.substr(start, i - start),
+                        line});
+      continue;
+    }
+    // Two-character operators first.
+    static const char* kTwoChar[] = {"==", "!=", "<=", ">="};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && peek(1) == op[1]) {
+        tokens.push_back({TokenType::kSymbol, op, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingles = "(),;:=<>+-*/%.!";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at line %d", c, line));
+  }
+  tokens.push_back({TokenType::kEnd, "", line});
+  return tokens;
+}
+
+}  // namespace cloudviews

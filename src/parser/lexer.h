@@ -1,0 +1,39 @@
+#ifndef CLOUDVIEWS_PARSER_LEXER_H_
+#define CLOUDVIEWS_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cloudviews {
+
+enum class TokenType : int {
+  kIdent,      // foo (also keywords; the parser matches case-insensitively)
+  kInt,        // 123
+  kFloat,      // 1.5
+  kString,     // "text"
+  kParam,      // @name
+  kSymbol,     // ( ) , ; : = == != < <= > >= + - * / % .
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // identifier name, literal text, or symbol spelling
+  int line = 1;
+
+  bool Is(TokenType t) const { return type == t; }
+  bool IsSymbol(const std::string& s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match on identifiers.
+  bool IsKeyword(const std::string& upper) const;
+};
+
+/// \brief Tokenizes ScopeScript text. `--` starts a line comment.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_PARSER_LEXER_H_

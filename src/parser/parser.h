@@ -1,0 +1,57 @@
+#ifndef CLOUDVIEWS_PARSER_PARSER_H_
+#define CLOUDVIEWS_PARSER_PARSER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "parser/lexer.h"
+#include "plan/plan_node.h"
+
+namespace cloudviews {
+
+/// A recurring-template parameter binding for one instance: the value used
+/// in expressions (`@name`) and the text spliced into stream names
+/// (`"clicks_{name}"`).
+struct ScriptParam {
+  Value value;
+  std::string text;
+};
+using ParamMap = std::map<std::string, ScriptParam>;
+
+/// Date parameter helper: value = date, text = "YYYY-MM-DD".
+ScriptParam DateParam(const std::string& iso);
+ScriptParam IntParam(int64_t v);
+ScriptParam StringParam(const std::string& s);
+
+/// Resolves the data-version GUID of a concrete input stream at compile
+/// time (normally backed by the storage manager / catalog).
+using GuidResolver = std::function<std::string(const std::string&)>;
+
+/// \brief Recursive-descent compiler from ScopeScript text to a logical
+/// plan. One script = one job.
+///
+/// \code
+///   clicks = EXTRACT user:int, page:string, when:date
+///            FROM "clicks_{date}";
+///   recent = SELECT user, COUNT(*) AS n FROM clicks
+///            WHERE when >= @date GROUP BY user;
+///   OUTPUT recent TO "user_counts_{date}";
+/// \endcode
+///
+/// Statements: EXTRACT, SELECT (JOIN / WHERE / GROUP BY / ORDER BY / TOP),
+/// PROCESS ... USING proc("lib","ver") PRODUCE fields, UNION ALL, OUTPUT.
+/// `{param}` holes in strings and `@param` in expressions come from the
+/// ParamMap, reproducing "same template, new data each time" (Sec 3).
+class ScopeScriptParser {
+ public:
+  /// Parses and instantiates a script with the given parameters. The
+  /// returned plan is unbound. Exactly one OUTPUT statement is required.
+  Result<PlanNodePtr> Parse(const std::string& script, const ParamMap& params,
+                            const GuidResolver& guid_resolver = nullptr);
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_PARSER_PARSER_H_

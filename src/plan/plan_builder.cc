@@ -1,0 +1,82 @@
+#include "plan/plan_builder.h"
+
+namespace cloudviews {
+
+PlanBuilder PlanBuilder::Extract(std::string template_name,
+                                 std::string stream_name, std::string guid,
+                                 Schema schema) {
+  return PlanBuilder(std::make_shared<ExtractNode>(
+      std::move(template_name), std::move(stream_name), std::move(guid),
+      std::move(schema)));
+}
+
+PlanBuilder PlanBuilder::From(PlanNodePtr node) {
+  return PlanBuilder(std::move(node));
+}
+
+PlanBuilder PlanBuilder::Filter(ExprPtr predicate) && {
+  return PlanBuilder(
+      std::make_shared<FilterNode>(std::move(root_), std::move(predicate)));
+}
+
+PlanBuilder PlanBuilder::Project(std::vector<NamedExpr> exprs) && {
+  return PlanBuilder(
+      std::make_shared<ProjectNode>(std::move(root_), std::move(exprs)));
+}
+
+PlanBuilder PlanBuilder::Select(const std::vector<std::string>& columns) && {
+  std::vector<NamedExpr> exprs;
+  exprs.reserve(columns.size());
+  for (const auto& c : columns) exprs.push_back({Col(c), c});
+  return std::move(*this).Project(std::move(exprs));
+}
+
+PlanBuilder PlanBuilder::Join(
+    PlanBuilder right, JoinType type,
+    std::vector<std::pair<std::string, std::string>> keys) && {
+  return PlanBuilder(std::make_shared<JoinNode>(
+      std::move(root_), std::move(right.root_), type, std::move(keys)));
+}
+
+PlanBuilder PlanBuilder::Aggregate(
+    std::vector<std::string> group_keys,
+    std::vector<AggregateSpec> aggregates) && {
+  return PlanBuilder(std::make_shared<AggregateNode>(
+      std::move(root_), std::move(group_keys), std::move(aggregates)));
+}
+
+PlanBuilder PlanBuilder::Sort(std::vector<SortKey> keys) && {
+  return PlanBuilder(
+      std::make_shared<SortNode>(std::move(root_), std::move(keys)));
+}
+
+PlanBuilder PlanBuilder::Exchange(Partitioning partitioning) && {
+  return PlanBuilder(std::make_shared<ExchangeNode>(std::move(root_),
+                                                    std::move(partitioning)));
+}
+
+PlanBuilder PlanBuilder::UnionAll(PlanBuilder other) && {
+  std::vector<PlanNodePtr> kids{std::move(root_), std::move(other.root_)};
+  return PlanBuilder(std::make_shared<UnionAllNode>(std::move(kids)));
+}
+
+PlanBuilder PlanBuilder::Process(std::string processor, std::string library,
+                                 std::string version,
+                                 Schema output_schema) && {
+  return PlanBuilder(std::make_shared<ProcessNode>(
+      std::move(root_), std::move(processor), std::move(library),
+      std::move(version), std::move(output_schema)));
+}
+
+PlanBuilder PlanBuilder::Top(int64_t limit) && {
+  return PlanBuilder(std::make_shared<TopNode>(std::move(root_), limit));
+}
+
+PlanBuilder PlanBuilder::Output(std::string stream_name) && {
+  return PlanBuilder(
+      std::make_shared<OutputNode>(std::move(root_), std::move(stream_name)));
+}
+
+PlanNodePtr PlanBuilder::Build() && { return std::move(root_); }
+
+}  // namespace cloudviews

@@ -1,0 +1,62 @@
+#ifndef CLOUDVIEWS_PLAN_PLAN_BUILDER_H_
+#define CLOUDVIEWS_PLAN_PLAN_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/plan_node.h"
+
+namespace cloudviews {
+
+/// \brief Fluent builder for plan trees, used by tests, examples, and the
+/// workload generators.
+///
+/// \code
+///   auto plan = PlanBuilder::Extract("clicks_{date}", "clicks_2018-01-01",
+///                                    guid, schema)
+///                   .Filter(Gt(Col("latency"), Lit(int64_t{10})))
+///                   .Aggregate({"page"}, {{AggFunc::kCount, nullptr, "n"}})
+///                   .Output("out_2018-01-01")
+///                   .Build();
+/// \endcode
+class PlanBuilder {
+ public:
+  /// Starts from an input stream scan. `template_name` is the recurring
+  /// template identity; pass the concrete name again for one-off inputs.
+  static PlanBuilder Extract(std::string template_name,
+                             std::string stream_name, std::string guid,
+                             Schema schema);
+
+  /// Starts from an existing subtree.
+  static PlanBuilder From(PlanNodePtr node);
+
+  PlanBuilder Filter(ExprPtr predicate) &&;
+  PlanBuilder Project(std::vector<NamedExpr> exprs) &&;
+  /// Projects existing columns by name (RestrRemap-style).
+  PlanBuilder Select(const std::vector<std::string>& columns) &&;
+  PlanBuilder Join(PlanBuilder right, JoinType type,
+                   std::vector<std::pair<std::string, std::string>> keys) &&;
+  PlanBuilder Aggregate(std::vector<std::string> group_keys,
+                        std::vector<AggregateSpec> aggregates) &&;
+  PlanBuilder Sort(std::vector<SortKey> keys) &&;
+  PlanBuilder Exchange(Partitioning partitioning) &&;
+  PlanBuilder UnionAll(PlanBuilder other) &&;
+  PlanBuilder Process(std::string processor, std::string library,
+                      std::string version, Schema output_schema) &&;
+  PlanBuilder Top(int64_t limit) &&;
+  PlanBuilder Output(std::string stream_name) &&;
+
+  /// Returns the root; the caller still needs to Bind() (or let the
+  /// compiler pipeline do it).
+  PlanNodePtr Build() &&;
+
+ private:
+  explicit PlanBuilder(PlanNodePtr root) : root_(std::move(root)) {}
+
+  PlanNodePtr root_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_PLAN_PLAN_BUILDER_H_

@@ -1,0 +1,185 @@
+#include "runtime/job_service.h"
+
+#include <thread>
+
+namespace cloudviews {
+
+std::vector<std::string> JobService::DefaultTags(const JobDefinition& def) {
+  std::vector<std::string> tags;
+  tags.push_back("template:" + def.template_id);
+  tags.push_back("vc:" + def.vc);
+  tags.push_back("user:" + def.user);
+  return tags;
+}
+
+Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
+                                        const JobServiceOptions& options) {
+  if (def.logical_plan == nullptr) {
+    return Status::InvalidArgument("job has no plan");
+  }
+  JobResult result;
+  result.job_id = next_job_id_.fetch_add(1);
+
+  // --- Compile: metadata lookup + optimization (Fig 6 right, Fig 9) -------
+  OptimizeContext ctx;
+  ctx.storage = storage_;
+  ctx.job_id = result.job_id;
+  if (options.use_feedback_statistics && repository_ != nullptr) {
+    ctx.feedback = repository_;
+  }
+  if (options.enable_cloudviews && metadata_ != nullptr) {
+    ctx.view_catalog = metadata_;
+    std::vector<std::string> tags =
+        def.tags.empty() ? DefaultTags(def) : def.tags;
+    ctx.annotations =
+        metadata_->GetRelevantViews(tags, &result.metadata_lookup_seconds);
+  }
+
+  CV_ASSIGN_OR_RETURN(OptimizedPlan optimized,
+                      optimizer_.Optimize(def.logical_plan, ctx));
+  result.compile_seconds = optimized.optimize_seconds;
+  result.views_reused = optimized.views_reused;
+  result.views_materialized = optimized.views_materialized;
+  result.reuse_rejected_by_cost = optimized.reuse_rejected_by_cost;
+  result.materialize_lock_denied = optimized.materialize_lock_denied;
+  result.estimated_cost = optimized.estimated_cost;
+
+  // --- Execute with early view publication (Sec 6.4) -----------------------
+  ExecContext exec_ctx;
+  exec_ctx.storage = storage_;
+  exec_ctx.job_id = result.job_id;
+  if (metadata_ != nullptr) {
+    exec_ctx.on_view_materialized = [this, &result](const SpoolNode& spool,
+                                                    const StreamData& view) {
+      MaterializedViewInfo info;
+      info.path = spool.view_path();
+      info.normalized_signature = spool.normalized_signature();
+      info.precise_signature = spool.precise_signature();
+      info.producer_job_id = result.job_id;
+      info.design = spool.design();
+      info.rows = static_cast<double>(view.total_rows);
+      info.bytes = static_cast<double>(view.total_bytes);
+      metadata_->ReportMaterialized(info, view.expires_at);
+    };
+  }
+  Executor executor(exec_ctx);
+  auto run = executor.Execute(optimized.root);
+  if (!run.ok()) {
+    // Release build locks this job won but can no longer honor; they would
+    // otherwise block others until lock expiry.
+    if (metadata_ != nullptr) {
+      std::vector<PlanNode*> nodes;
+      CollectNodes(optimized.root, &nodes);
+      for (PlanNode* n : nodes) {
+        if (n->kind() == OpKind::kSpool) {
+          metadata_->AbandonLock(
+              static_cast<SpoolNode*>(n)->precise_signature(),
+              result.job_id);
+        }
+      }
+    }
+    return run.status();
+  }
+  result.run_stats = *run;
+  result.executed_plan = optimized.root;
+
+  // --- Record in the workload repository (feedback loop) -------------------
+  if (options.record_in_repository && repository_ != nullptr) {
+    JobRecord record;
+    record.job_id = result.job_id;
+    record.cluster = def.cluster;
+    record.business_unit = def.business_unit;
+    record.vc = def.vc;
+    record.user = def.user;
+    record.template_id = def.template_id;
+    record.recurring_instance = def.recurring_instance;
+    record.recurrence_period = def.recurrence_period;
+    record.submit_time = clock_->Now();
+    record.tags = def.tags.empty() ? DefaultTags(def) : def.tags;
+    record.plan = optimized.root;
+    record.run_stats = result.run_stats;
+    repository_->AddJob(std::move(record));
+  }
+  return result;
+}
+
+Result<int> JobService::MaterializeOfflineViews(const JobDefinition& def) {
+  if (def.logical_plan == nullptr) {
+    return Status::InvalidArgument("job has no plan");
+  }
+  if (metadata_ == nullptr) {
+    return Status::InvalidArgument("offline mode needs a metadata service");
+  }
+  uint64_t job_id = next_job_id_.fetch_add(1);
+
+  OptimizeContext ctx;
+  ctx.storage = storage_;
+  ctx.job_id = job_id;
+  if (repository_ != nullptr) ctx.feedback = repository_;
+  ctx.view_catalog = metadata_;
+  std::vector<std::string> tags =
+      def.tags.empty() ? DefaultTags(def) : def.tags;
+  ctx.annotations = metadata_->GetRelevantViews(tags);
+  // Build every annotated subgraph of this job, regardless of the online
+  // per-job cap, and treat offline annotations as materializable.
+  for (auto& ann : ctx.annotations) ann.offline = false;
+  OptimizerConfig config = optimizer_.config();
+  config.max_materialized_views_per_job = 1 << 20;
+  Optimizer offline_optimizer(config);
+  CV_ASSIGN_OR_RETURN(OptimizedPlan optimized,
+                      offline_optimizer.Optimize(def.logical_plan, ctx));
+
+  // Extract each Spool subtree and run it standalone: the pre-job builds
+  // only the views, nothing else.
+  std::vector<PlanNode*> nodes;
+  CollectNodes(optimized.root, &nodes);
+  int built = 0;
+  for (PlanNode* n : nodes) {
+    if (n->kind() != OpKind::kSpool) continue;
+    auto* spool = static_cast<SpoolNode*>(n);
+    PlanNodePtr standalone = spool->Clone();
+    CV_RETURN_NOT_OK(standalone->Bind());
+    AssignNodeIds(standalone.get());
+    ExecContext exec_ctx;
+    exec_ctx.storage = storage_;
+    exec_ctx.job_id = job_id;
+    exec_ctx.on_view_materialized = [this, job_id](const SpoolNode& node,
+                                                   const StreamData& view) {
+      MaterializedViewInfo info;
+      info.path = node.view_path();
+      info.normalized_signature = node.normalized_signature();
+      info.precise_signature = node.precise_signature();
+      info.producer_job_id = job_id;
+      info.design = node.design();
+      info.rows = static_cast<double>(view.total_rows);
+      info.bytes = static_cast<double>(view.total_bytes);
+      metadata_->ReportMaterialized(info, view.expires_at);
+    };
+    Executor executor(exec_ctx);
+    auto run = executor.Execute(standalone);
+    if (!run.ok()) {
+      metadata_->AbandonLock(spool->precise_signature(), job_id);
+      return run.status();
+    }
+    ++built;
+  }
+  return built;
+}
+
+std::vector<Result<JobResult>> JobService::SubmitConcurrent(
+    const std::vector<JobDefinition>& defs,
+    const JobServiceOptions& options) {
+  std::vector<Result<JobResult>> results(
+      defs.size(), Result<JobResult>(Status::Internal("not run")));
+  std::vector<std::thread> threads;
+  threads.reserve(defs.size());
+  for (size_t i = 0; i < defs.size(); ++i) {
+    threads.emplace_back([this, &defs, &options, &results, i] {
+      results[i] = SubmitJob(defs[i], options);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,82 @@
+#include "runtime/workload_repository.h"
+
+#include "signature/signature.h"
+
+namespace cloudviews {
+
+double SubtreeCpuSeconds(const PlanNode& node, const PlanRuntimeStats& stats) {
+  // Pre-order ids: the subtree of a node with id i and size s occupies
+  // exactly ids [i, i + s).
+  int first = node.id();
+  int last = first + static_cast<int>(node.SubtreeSize());
+  double cpu = 0;
+  for (int id = first; id < last; ++id) {
+    auto it = stats.find(id);
+    if (it != stats.end()) cpu += it->second.cpu_seconds;
+  }
+  return cpu;
+}
+
+void WorkloadRepository::AddJob(JobRecord record) {
+  auto shared = std::make_shared<const JobRecord>(std::move(record));
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_.push_back(shared);
+
+  if (shared->plan == nullptr) return;
+  // Maintain the feedback index: every subgraph of the executed plan
+  // contributes its observed statistics under its normalized signature.
+  for (const auto& entry : EnumerateSubgraphs(shared->plan)) {
+    auto it = shared->run_stats.operators.find(entry.node->id());
+    if (it == shared->run_stats.operators.end()) continue;
+    Accumulator& acc = feedback_[entry.sigs.normalized];
+    acc.rows += it->second.rows;
+    acc.bytes += it->second.bytes;
+    acc.latency += it->second.inclusive_seconds;
+    acc.cpu += SubtreeCpuSeconds(*entry.node, shared->run_stats.operators);
+    ++acc.n;
+  }
+}
+
+size_t WorkloadRepository::NumJobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+std::vector<std::shared_ptr<const JobRecord>> WorkloadRepository::Jobs()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_;
+}
+
+std::vector<std::shared_ptr<const JobRecord>>
+WorkloadRepository::JobsInWindow(LogicalTime from, LogicalTime to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const JobRecord>> out;
+  for (const auto& j : jobs_) {
+    if (j->submit_time >= from && j->submit_time < to) out.push_back(j);
+  }
+  return out;
+}
+
+std::optional<SubgraphObservedStats> WorkloadRepository::Lookup(
+    const Hash128& normalized_signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = feedback_.find(normalized_signature);
+  if (it == feedback_.end()) return std::nullopt;
+  const Accumulator& acc = it->second;
+  double n = static_cast<double>(acc.n);
+  SubgraphObservedStats stats;
+  stats.rows = acc.rows / n;
+  stats.bytes = acc.bytes / n;
+  stats.latency_seconds = acc.latency / n;
+  stats.cpu_seconds = acc.cpu / n;
+  stats.observations = acc.n;
+  return stats;
+}
+
+size_t WorkloadRepository::NumIndexedSubgraphs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return feedback_.size();
+}
+
+}  // namespace cloudviews

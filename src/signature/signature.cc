@@ -1,0 +1,39 @@
+#include "signature/signature.h"
+
+namespace cloudviews {
+
+SubgraphSignatures ComputeSignatures(const PlanNode& node) {
+  SubgraphSignatures sigs;
+  sigs.precise = node.SubtreeHash(SignatureMode::kPrecise);
+  sigs.normalized = node.SubtreeHash(SignatureMode::kNormalized);
+  return sigs;
+}
+
+bool IsReusableRoot(const PlanNode& node) {
+  switch (node.kind()) {
+    case OpKind::kSpool:
+    case OpKind::kViewRead:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace {
+void EnumerateInternal(PlanNode* node, std::vector<SubgraphEntry>* out) {
+  if (IsReusableRoot(*node)) {
+    out->push_back({node, ComputeSignatures(*node), node->SubtreeSize()});
+  }
+  for (auto& c : node->mutable_children()) {
+    EnumerateInternal(c.get(), out);
+  }
+}
+}  // namespace
+
+std::vector<SubgraphEntry> EnumerateSubgraphs(const PlanNodePtr& root) {
+  std::vector<SubgraphEntry> out;
+  EnumerateInternal(root.get(), &out);
+  return out;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,46 @@
+#ifndef CLOUDVIEWS_SIGNATURE_SIGNATURE_H_
+#define CLOUDVIEWS_SIGNATURE_SIGNATURE_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "plan/plan_node.h"
+
+namespace cloudviews {
+
+/// \brief The two signatures of one computation subgraph (Sec 3).
+///
+/// The *normalized* signature identifies the computation template across
+/// recurring instances (used to decide what to materialize); the *precise*
+/// signature identifies one exact computation over one exact data version
+/// (used to match a materialized view for reuse, and to expire it).
+struct SubgraphSignatures {
+  Hash128 precise;
+  Hash128 normalized;
+
+  bool operator==(const SubgraphSignatures& o) const {
+    return precise == o.precise && normalized == o.normalized;
+  }
+};
+
+/// Computes both signatures of the subtree rooted at `node`.
+SubgraphSignatures ComputeSignatures(const PlanNode& node);
+
+/// One enumerated subgraph of a plan.
+struct SubgraphEntry {
+  PlanNode* node;
+  SubgraphSignatures sigs;
+  size_t subtree_size;
+};
+
+/// True if this node may root a reuse candidate. Spool/ViewRead nodes are
+/// excluded (they are CloudViews runtime artifacts, not user computation).
+bool IsReusableRoot(const PlanNode& node);
+
+/// \brief Enumerates every reuse-candidate subgraph of a plan, pre-order
+/// (Sec 5.1: "enumerating all possible subgraphs of all jobs").
+std::vector<SubgraphEntry> EnumerateSubgraphs(const PlanNodePtr& root);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_SIGNATURE_SIGNATURE_H_

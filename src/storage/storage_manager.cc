@@ -1,0 +1,123 @@
+#include "storage/storage_manager.h"
+
+#include "common/string_util.h"
+
+namespace cloudviews {
+
+std::string EncodeViewPath(const Hash128& normalized, const Hash128& precise,
+                           uint64_t producer_job_id) {
+  return StrFormat("/views/%s/%s_%llu.ss", normalized.ToHex().c_str(),
+                   precise.ToHex().c_str(),
+                   static_cast<unsigned long long>(producer_job_id));
+}
+
+bool ParseViewPath(const std::string& path, Hash128* normalized,
+                   Hash128* precise, uint64_t* producer_job_id) {
+  if (!StartsWith(path, "/views/")) return false;
+  auto parts = Split(path.substr(7), '/');
+  if (parts.size() != 2) return false;
+  if (!Hash128::FromHex(parts[0], normalized)) return false;
+  auto file = parts[1];
+  auto us = file.find('_');
+  auto dot = file.rfind(".ss");
+  if (us == std::string::npos || dot == std::string::npos || dot < us) {
+    return false;
+  }
+  if (!Hash128::FromHex(std::string_view(file).substr(0, us), precise)) {
+    return false;
+  }
+  char* end = nullptr;
+  std::string id_str = file.substr(us + 1, dot - us - 1);
+  *producer_job_id = std::strtoull(id_str.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !id_str.empty();
+}
+
+Status StorageManager::WriteStream(StreamData data) {
+  if (data.name.empty()) {
+    return Status::InvalidArgument("stream name must not be empty");
+  }
+  auto handle = std::make_shared<StreamData>(std::move(data));
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_[handle->name] = std::move(handle);
+  return Status::OK();
+}
+
+Result<StreamHandle> StorageManager::OpenStream(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+bool StorageManager::StreamExists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_.count(name) > 0;
+}
+
+Status StorageManager::DeleteStream(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (streams_.erase(name) == 0) {
+    return Status::NotFound("stream '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+size_t StorageManager::PurgeExpired() {
+  LogicalTime now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t purged = 0;
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->second->expires_at != 0 && it->second->expires_at <= now) {
+      it = streams_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+std::vector<std::string> StorageManager::ListStreams(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, data] : streams_) {
+    if (StartsWith(name, prefix)) out.push_back(name);
+  }
+  return out;
+}
+
+int64_t StorageManager::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, data] : streams_) total += data->total_bytes;
+  return total;
+}
+
+size_t StorageManager::NumStreams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_.size();
+}
+
+StreamData MakeStreamData(std::string name, std::string guid, Schema schema,
+                          std::vector<Batch> batches, LogicalTime now,
+                          LogicalTime expires_at, PhysicalProperties props) {
+  StreamData data;
+  data.name = std::move(name);
+  data.guid = std::move(guid);
+  data.schema = std::move(schema);
+  data.created_at = now;
+  data.expires_at = expires_at;
+  data.props = std::move(props);
+  for (const auto& b : batches) {
+    data.total_rows += static_cast<int64_t>(b.num_rows());
+    data.total_bytes += b.ByteSize();
+  }
+  data.batches = std::move(batches);
+  return data;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,92 @@
+#ifndef CLOUDVIEWS_STORAGE_STORAGE_MANAGER_H_
+#define CLOUDVIEWS_STORAGE_STORAGE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "plan/physical_properties.h"
+#include "types/batch.h"
+
+namespace cloudviews {
+
+/// \brief An immutable stored stream (job input, job output, or
+/// materialized view).
+///
+/// The GUID identifies the data version: recurring instances write new
+/// GUIDs under new names, and any in-place rewrite (e.g. a GDPR scrub)
+/// installs a fresh GUID, which changes downstream precise signatures.
+struct StreamData {
+  std::string name;
+  std::string guid;
+  Schema schema;
+  std::vector<Batch> batches;
+  /// How the stream is physically laid out (views record their mined
+  /// design here; plain outputs usually leave it unspecified).
+  PhysicalProperties props;
+  LogicalTime created_at = 0;
+  /// 0 means never expires; the storage manager purges past this time.
+  LogicalTime expires_at = 0;
+  int64_t total_rows = 0;
+  int64_t total_bytes = 0;
+};
+
+using StreamHandle = std::shared_ptr<const StreamData>;
+
+/// Builds the physical path of a materialized view. The path encodes the
+/// precise signature and producing job id, exactly as the paper stores
+/// them "into the physical path of the materialized files" (Sec 5, 6.2).
+std::string EncodeViewPath(const Hash128& normalized,
+                           const Hash128& precise, uint64_t producer_job_id);
+
+/// Recovers signature components from a view path; returns false when the
+/// path is not a view path.
+bool ParseViewPath(const std::string& path, Hash128* normalized,
+                   Hash128* precise, uint64_t* producer_job_id);
+
+/// \brief Thread-safe in-memory store of all streams in the simulated
+/// cluster; stands in for the SCOPE distributed store.
+class StorageManager {
+ public:
+  explicit StorageManager(SimulatedClock* clock) : clock_(clock) {}
+
+  /// Writes (or replaces) a stream. Expiry of 0 = never.
+  Status WriteStream(StreamData data);
+
+  Result<StreamHandle> OpenStream(const std::string& name) const;
+  bool StreamExists(const std::string& name) const;
+  Status DeleteStream(const std::string& name);
+
+  /// Deletes streams whose expiry passed; returns the number purged
+  /// (Sec 5.4: "our Storage Manager takes care of purging the file once
+  /// it expires").
+  size_t PurgeExpired();
+
+  std::vector<std::string> ListStreams(const std::string& prefix = "") const;
+
+  int64_t TotalBytes() const;
+  size_t NumStreams() const;
+
+  SimulatedClock* clock() const { return clock_; }
+
+ private:
+  SimulatedClock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, StreamHandle> streams_;
+};
+
+/// Convenience: assembles a StreamData from batches, computing row/byte
+/// totals.
+StreamData MakeStreamData(std::string name, std::string guid, Schema schema,
+                          std::vector<Batch> batches, LogicalTime now,
+                          LogicalTime expires_at = 0,
+                          PhysicalProperties props = {});
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_STORAGE_STORAGE_MANAGER_H_

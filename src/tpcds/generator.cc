@@ -1,0 +1,229 @@
+#include "common/random.h"
+#include "common/string_util.h"
+#include "tpcds/tpcds.h"
+
+namespace cloudviews {
+namespace tpcds {
+
+Schema DateDimSchema() {
+  return Schema({{"d_date_sk", DataType::kInt64},
+                 {"d_date", DataType::kDate},
+                 {"d_year", DataType::kInt64},
+                 {"d_moy", DataType::kInt64},
+                 {"d_qoy", DataType::kInt64},
+                 {"d_dow", DataType::kInt64}});
+}
+
+Schema ItemSchema() {
+  return Schema({{"i_item_sk", DataType::kInt64},
+                 {"i_category", DataType::kString},
+                 {"i_brand", DataType::kString},
+                 {"i_class", DataType::kString},
+                 {"i_current_price", DataType::kDouble}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_customer_sk", DataType::kInt64},
+                 {"c_state", DataType::kString},
+                 {"c_birth_year", DataType::kInt64},
+                 {"c_preferred", DataType::kBool}});
+}
+
+Schema StoreSchema() {
+  return Schema({{"s_store_sk", DataType::kInt64},
+                 {"s_state", DataType::kString},
+                 {"s_city", DataType::kString}});
+}
+
+Schema PromotionSchema() {
+  return Schema({{"p_promo_sk", DataType::kInt64},
+                 {"p_channel", DataType::kString},
+                 {"p_cost", DataType::kDouble}});
+}
+
+Schema StoreSalesSchema() {
+  return Schema({{"ss_sold_date_sk", DataType::kInt64},
+                 {"ss_item_sk", DataType::kInt64},
+                 {"ss_customer_sk", DataType::kInt64},
+                 {"ss_store_sk", DataType::kInt64},
+                 {"ss_promo_sk", DataType::kInt64},
+                 {"ss_quantity", DataType::kInt64},
+                 {"ss_sales_price", DataType::kDouble},
+                 {"ss_net_profit", DataType::kDouble}});
+}
+
+Schema WebSalesSchema() {
+  return Schema({{"ws_sold_date_sk", DataType::kInt64},
+                 {"ws_item_sk", DataType::kInt64},
+                 {"ws_customer_sk", DataType::kInt64},
+                 {"ws_promo_sk", DataType::kInt64},
+                 {"ws_quantity", DataType::kInt64},
+                 {"ws_sales_price", DataType::kDouble},
+                 {"ws_net_profit", DataType::kDouble}});
+}
+
+Schema CatalogSalesSchema() {
+  return Schema({{"cs_sold_date_sk", DataType::kInt64},
+                 {"cs_item_sk", DataType::kInt64},
+                 {"cs_customer_sk", DataType::kInt64},
+                 {"cs_promo_sk", DataType::kInt64},
+                 {"cs_quantity", DataType::kInt64},
+                 {"cs_sales_price", DataType::kDouble},
+                 {"cs_net_profit", DataType::kDouble}});
+}
+
+std::string TableStream(const std::string& table) {
+  return "tpcds_" + table;
+}
+
+TpcdsGenerator::TpcdsGenerator(TpcdsOptions options) : options_(options) {}
+
+namespace {
+
+Status Write(StorageManager* storage, const std::string& table,
+             const Schema& schema, Batch batch) {
+  std::string name = TableStream(table);
+  return storage->WriteStream(MakeStreamData(name, "guid-" + name, schema,
+                                             {std::move(batch)},
+                                             storage->clock()->Now()));
+}
+
+}  // namespace
+
+Status TpcdsGenerator::WriteTables(StorageManager* storage) const {
+  Rng rng(options_.seed);
+  static const char* kCategories[] = {"Books", "Electronics", "Home",
+                                      "Sports", "Music", "Shoes", "Jewelry",
+                                      "Women", "Men", "Children"};
+  static const char* kStates[] = {"CA", "TX", "WA", "NY", "FL",
+                                  "GA", "IL", "OH", "MI", "NC"};
+  static const char* kChannels[] = {"mail", "web", "tv", "radio", "event"};
+
+  // date_dim
+  {
+    Batch b(DateDimSchema());
+    int64_t day0 = 0;
+    ParseDate(StrFormat("%04d-01-01", options_.start_year), &day0);
+    for (int d = 0; d < options_.num_days; ++d) {
+      int64_t day = day0 + d;
+      std::string iso = FormatDate(day);
+      int y, m, dd;
+      std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &dd);
+      CV_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(d + 1), Value::Date(day), Value::Int64(y),
+           Value::Int64(m), Value::Int64((m - 1) / 3 + 1),
+           Value::Int64((day + 4) % 7)}));
+    }
+    CV_RETURN_NOT_OK(Write(storage, "date_dim", DateDimSchema(), std::move(b)));
+  }
+
+  // item
+  {
+    Batch b(ItemSchema());
+    for (size_t i = 0; i < options_.items; ++i) {
+      CV_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(static_cast<int64_t>(i + 1)),
+           Value::String(kCategories[i % 10]),
+           Value::String(StrFormat("brand#%zu", i % 25)),
+           Value::String(StrFormat("class#%zu", i % 7)),
+           Value::Double(1.0 + rng.NextDouble() * 99.0)}));
+    }
+    CV_RETURN_NOT_OK(Write(storage, "item", ItemSchema(), std::move(b)));
+  }
+
+  // customer
+  {
+    Batch b(CustomerSchema());
+    for (size_t i = 0; i < options_.customers; ++i) {
+      CV_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(static_cast<int64_t>(i + 1)),
+           Value::String(kStates[rng.Uniform(10)]),
+           Value::Int64(1940 + static_cast<int64_t>(rng.Uniform(60))),
+           Value::Bool(rng.Bernoulli(0.3))}));
+    }
+    CV_RETURN_NOT_OK(
+        Write(storage, "customer", CustomerSchema(), std::move(b)));
+  }
+
+  // store
+  {
+    Batch b(StoreSchema());
+    for (size_t i = 0; i < options_.stores; ++i) {
+      CV_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(static_cast<int64_t>(i + 1)),
+           Value::String(kStates[i % 10]),
+           Value::String(StrFormat("city#%zu", i))}));
+    }
+    CV_RETURN_NOT_OK(Write(storage, "store", StoreSchema(), std::move(b)));
+  }
+
+  // promotion
+  {
+    Batch b(PromotionSchema());
+    for (size_t i = 0; i < options_.promotions; ++i) {
+      CV_RETURN_NOT_OK(
+          b.AppendRow({Value::Int64(static_cast<int64_t>(i + 1)),
+                       Value::String(kChannels[i % 5]),
+                       Value::Double(rng.NextDouble() * 1000.0)}));
+    }
+    CV_RETURN_NOT_OK(
+        Write(storage, "promotion", PromotionSchema(), std::move(b)));
+  }
+
+  // Sales facts: skewed towards recent dates and popular items.
+  ZipfGenerator item_zipf(options_.items, 0.8);
+  auto fact_row = [&](Batch* b, bool with_store) -> Status {
+    int64_t date_sk =
+        1 + static_cast<int64_t>(rng.Uniform(
+                static_cast<uint64_t>(options_.num_days)));
+    int64_t item_sk = static_cast<int64_t>(item_zipf.Sample(&rng)) + 1;
+    int64_t cust_sk =
+        1 + static_cast<int64_t>(rng.Uniform(options_.customers));
+    int64_t promo_sk =
+        1 + static_cast<int64_t>(rng.Uniform(options_.promotions));
+    int64_t qty = 1 + static_cast<int64_t>(rng.Uniform(20));
+    double price = 1.0 + rng.NextDouble() * 150.0;
+    double profit = price * (rng.NextDouble() * 0.4 - 0.05);
+    if (with_store) {
+      int64_t store_sk =
+          1 + static_cast<int64_t>(rng.Uniform(options_.stores));
+      return b->AppendRow({Value::Int64(date_sk), Value::Int64(item_sk),
+                           Value::Int64(cust_sk), Value::Int64(store_sk),
+                           Value::Int64(promo_sk), Value::Int64(qty),
+                           Value::Double(price), Value::Double(profit)});
+    }
+    return b->AppendRow({Value::Int64(date_sk), Value::Int64(item_sk),
+                         Value::Int64(cust_sk), Value::Int64(promo_sk),
+                         Value::Int64(qty), Value::Double(price),
+                         Value::Double(profit)});
+  };
+
+  {
+    Batch b(StoreSalesSchema());
+    for (size_t i = 0; i < options_.store_sales_rows; ++i) {
+      CV_RETURN_NOT_OK(fact_row(&b, true));
+    }
+    CV_RETURN_NOT_OK(
+        Write(storage, "store_sales", StoreSalesSchema(), std::move(b)));
+  }
+  {
+    Batch b(WebSalesSchema());
+    for (size_t i = 0; i < options_.web_sales_rows; ++i) {
+      CV_RETURN_NOT_OK(fact_row(&b, false));
+    }
+    CV_RETURN_NOT_OK(
+        Write(storage, "web_sales", WebSalesSchema(), std::move(b)));
+  }
+  {
+    Batch b(CatalogSalesSchema());
+    for (size_t i = 0; i < options_.catalog_sales_rows; ++i) {
+      CV_RETURN_NOT_OK(fact_row(&b, false));
+    }
+    CV_RETURN_NOT_OK(
+        Write(storage, "catalog_sales", CatalogSalesSchema(), std::move(b)));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcds
+}  // namespace cloudviews

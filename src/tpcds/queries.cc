@@ -1,0 +1,180 @@
+#include "common/string_util.h"
+#include "plan/plan_builder.h"
+#include "tpcds/tpcds.h"
+
+namespace cloudviews {
+namespace tpcds {
+
+namespace {
+
+struct ChannelInfo {
+  const char* table;
+  const char* date_col;
+  const char* item_col;
+  const char* customer_col;
+  const char* store_col;  // nullptr when the channel has no store
+  const char* promo_col;
+  const char* qty_col;
+  const char* price_col;
+  const char* profit_col;
+  Schema (*schema)();
+};
+
+const ChannelInfo kChannels[3] = {
+    {"store_sales", "ss_sold_date_sk", "ss_item_sk", "ss_customer_sk",
+     "ss_store_sk", "ss_promo_sk", "ss_quantity", "ss_sales_price",
+     "ss_net_profit", &StoreSalesSchema},
+    {"web_sales", "ws_sold_date_sk", "ws_item_sk", "ws_customer_sk", nullptr,
+     "ws_promo_sk", "ws_quantity", "ws_sales_price", "ws_net_profit",
+     &WebSalesSchema},
+    {"catalog_sales", "cs_sold_date_sk", "cs_item_sk", "cs_customer_sk",
+     nullptr, "cs_promo_sk", "cs_quantity", "cs_sales_price",
+     "cs_net_profit", &CatalogSalesSchema},
+};
+
+PlanBuilder ExtractTable(const char* table, Schema schema) {
+  std::string stream = TableStream(table);
+  // TPC-DS is a one-shot benchmark: the template is the concrete name.
+  return PlanBuilder::Extract(stream, stream, "guid-" + stream,
+                              std::move(schema));
+}
+
+/// Deterministic per-query shape; crafted so the channel x year base
+/// prefixes repeat across many queries (the Fig 13 overlap structure).
+struct QuerySpec {
+  int channel;
+  int64_t year;
+  bool month_in_base;
+  int64_t moy;
+  bool join_item;
+  bool join_customer;
+  bool join_store;
+  bool join_promo;
+  int group_mode;  // 0 i_category, 1 i_brand, 2 c_state, 3 s_state,
+                   // 4 d_moy, 5 global, 6 p_channel
+  int agg_set;
+  int tail;
+};
+
+QuerySpec SpecFor(int q) {
+  QuerySpec s;
+  int r = q % 9;
+  s.channel = r <= 3 || r == 8 ? 0 : (r <= 5 ? 1 : 2);
+  s.year = 1999 + ((q / 3) % 2);
+  s.month_in_base = q % 7 == 3;
+  s.moy = 1 + q % 12;
+  s.group_mode = q % 7;
+  // Store-channel-only grouping falls back to category elsewhere.
+  if (s.group_mode == 3 && s.channel != 0) s.group_mode = 0;
+  s.join_item = s.group_mode <= 1 || q % 2 == 0;
+  s.join_customer = s.group_mode == 2 || q % 5 == 0;
+  s.join_store = s.group_mode == 3;
+  s.join_promo = s.group_mode == 6;
+  s.agg_set = q % 3;
+  s.tail = q % 4;
+  return s;
+}
+
+}  // namespace
+
+PlanNodePtr BuildQuery(int q) {
+  QuerySpec spec = SpecFor(q);
+  const ChannelInfo& ch = kChannels[spec.channel];
+
+  // Shared base: sales joined with the year slice of date_dim. This exact
+  // prefix recurs across dozens of queries.
+  auto dates = ExtractTable("date_dim", DateDimSchema())
+                   .Filter(Eq(Col("d_year"), Lit(spec.year)));
+  PlanBuilder base = ExtractTable(ch.table, ch.schema())
+                         .Join(std::move(dates), JoinType::kInner,
+                               {{ch.date_col, "d_date_sk"}});
+  if (spec.month_in_base) {
+    base = std::move(base).Filter(Eq(Col("d_moy"), Lit(spec.moy)));
+  }
+
+  if (spec.join_item) {
+    base = std::move(base).Join(ExtractTable("item", ItemSchema()),
+                                JoinType::kInner,
+                                {{ch.item_col, "i_item_sk"}});
+  }
+  if (spec.join_customer) {
+    base = std::move(base).Join(ExtractTable("customer", CustomerSchema()),
+                                JoinType::kInner,
+                                {{ch.customer_col, "c_customer_sk"}});
+  }
+  if (spec.join_store && ch.store_col != nullptr) {
+    base = std::move(base).Join(ExtractTable("store", StoreSchema()),
+                                JoinType::kInner,
+                                {{ch.store_col, "s_store_sk"}});
+  }
+  if (spec.join_promo) {
+    base = std::move(base).Join(ExtractTable("promotion", PromotionSchema()),
+                                JoinType::kInner,
+                                {{ch.promo_col, "p_promo_sk"}});
+  }
+
+  static const char* kGroupCols[] = {"i_category", "i_brand", "c_state",
+                                     "s_state",    "d_moy",   "",
+                                     "p_channel"};
+  std::vector<std::string> group_keys;
+  if (spec.group_mode != 5) {
+    group_keys.push_back(kGroupCols[spec.group_mode]);
+  }
+
+  std::vector<AggregateSpec> aggs;
+  std::string last_agg;
+  switch (spec.agg_set) {
+    case 0:
+      aggs.push_back({AggFunc::kCount, nullptr, "n"});
+      aggs.push_back({AggFunc::kSum, Col(ch.price_col), "total_sales"});
+      last_agg = "total_sales";
+      break;
+    case 1:
+      aggs.push_back({AggFunc::kSum, Col(ch.profit_col), "total_profit"});
+      aggs.push_back({AggFunc::kAvg, Col(ch.price_col), "avg_price"});
+      last_agg = "avg_price";
+      break;
+    default:
+      aggs.push_back({AggFunc::kCount, nullptr, "n"});
+      aggs.push_back({AggFunc::kSum, Col(ch.qty_col), "total_qty"});
+      aggs.push_back({AggFunc::kMax, Col(ch.price_col), "max_price"});
+      last_agg = "max_price";
+      break;
+  }
+  PlanBuilder result = std::move(base).Aggregate(group_keys, std::move(aggs));
+
+  switch (spec.tail) {
+    case 0:
+      result = std::move(result)
+                   .Sort({{last_agg, false}})
+                   .Top(100);
+      break;
+    case 1:
+      if (!group_keys.empty()) {
+        result = std::move(result).Sort({{group_keys[0], true}});
+      }
+      break;
+    case 2:
+      result = std::move(result)
+                   .Filter(Gt(Col(last_agg), Lit(static_cast<double>(q))));
+      break;
+    default:
+      break;
+  }
+  return std::move(result).Output(StrFormat("tpcds_q%d_out", q)).Build();
+}
+
+JobDefinition MakeQueryJob(int q) {
+  JobDefinition def;
+  def.template_id = StrFormat("tpcds_q%d", q);
+  def.cluster = "tpcds";
+  def.business_unit = "benchmark";
+  def.vc = "tpcds-vc";
+  def.user = StrFormat("analyst%d", q % 10);
+  def.recurrence_period = kSecondsPerDay;
+  def.logical_plan = BuildQuery(q);
+  return def;
+}
+
+}  // namespace tpcds
+}  // namespace cloudviews

@@ -1,0 +1,78 @@
+#ifndef CLOUDVIEWS_TPCDS_TPCDS_H_
+#define CLOUDVIEWS_TPCDS_TPCDS_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/job_service.h"
+#include "storage/storage_manager.h"
+
+namespace cloudviews {
+namespace tpcds {
+
+/// \brief Scaled-down, deterministic TPC-DS-style dataset (Sec 7.2 used the
+/// real 1TB benchmark; this preserves its star-schema shape: three sales
+/// channels sharing conformed dimensions, which is what creates the
+/// overlapping scan/join subexpressions CloudViews exploits).
+struct TpcdsOptions {
+  size_t store_sales_rows = 20000;
+  size_t web_sales_rows = 8000;
+  size_t catalog_sales_rows = 10000;
+  size_t items = 200;
+  size_t customers = 1000;
+  size_t stores = 12;
+  size_t promotions = 30;
+  /// date_dim covers two years starting 1999-01-01.
+  int start_year = 1999;
+  int num_days = 730;
+  uint64_t seed = 99;
+};
+
+// Table schemas.
+Schema DateDimSchema();
+Schema ItemSchema();
+Schema CustomerSchema();
+Schema StoreSchema();
+Schema PromotionSchema();
+Schema StoreSalesSchema();
+Schema WebSalesSchema();
+Schema CatalogSalesSchema();
+
+/// Stream name of a table ("tpcds_store_sales", ...).
+std::string TableStream(const std::string& table);
+
+/// \brief Generates and writes all eight tables.
+class TpcdsGenerator {
+ public:
+  explicit TpcdsGenerator(TpcdsOptions options);
+  TpcdsGenerator() : TpcdsGenerator(TpcdsOptions()) {}
+
+  const TpcdsOptions& options() const { return options_; }
+
+  Status WriteTables(StorageManager* storage) const;
+
+ private:
+  TpcdsOptions options_;
+};
+
+/// Number of benchmark queries (matches TPC-DS).
+constexpr int kNumQueries = 99;
+
+/// \brief Builds query q (1-based) as a logical plan ending in an Output to
+/// "tpcds_q<q>_out".
+///
+/// The 99 queries are structurally representative simplifications: star
+/// joins from one (or a union of two) sales channels through conformed
+/// dimensions with year/month predicates, grouped aggregations, and
+/// sort/top tails. Queries are generated from a deterministic spec table
+/// so that the channel x year scan-join prefixes repeat across many
+/// queries — the shared subexpressions the paper's Fig 13 exercises.
+PlanNodePtr BuildQuery(int q);
+
+/// Query q wrapped as a job submission for the CloudViews job service.
+JobDefinition MakeQueryJob(int q);
+
+}  // namespace tpcds
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TPCDS_TPCDS_H_

@@ -1,0 +1,52 @@
+#include "types/data_type.h"
+
+namespace cloudviews {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+bool DataTypeFromString(const std::string& name, DataType* out) {
+  if (name == "bool") {
+    *out = DataType::kBool;
+  } else if (name == "int" || name == "long" || name == "int64") {
+    *out = DataType::kInt64;
+  } else if (name == "double" || name == "float") {
+    *out = DataType::kDouble;
+  } else if (name == "string") {
+    *out = DataType::kString;
+  } else if (name == "date") {
+    *out = DataType::kDate;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int DataTypeWidth(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+    case DataType::kDate:
+      return 8;
+    case DataType::kString:
+      return 16;  // average estimate; refined from actual data when known
+  }
+  return 8;
+}
+
+}  // namespace cloudviews

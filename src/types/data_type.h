@@ -1,0 +1,33 @@
+#ifndef CLOUDVIEWS_TYPES_DATA_TYPE_H_
+#define CLOUDVIEWS_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+namespace cloudviews {
+
+/// \brief Scalar types supported by the engine.
+///
+/// kDate is stored as days since 1970-01-01; recurring-job template
+/// parameters are typically date literals (Sec 3), so dates are first-class
+/// for signature normalization.
+enum class DataType : int {
+  kBool = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kDate = 4,
+};
+
+const char* DataTypeToString(DataType t);
+
+/// Parses "int", "long", "double", "string", "bool", "date" (ScopeScript
+/// spellings). Returns false for unknown names.
+bool DataTypeFromString(const std::string& name, DataType* out);
+
+/// Fixed width in bytes used for size accounting; strings use an estimate
+/// that the storage layer refines with actual lengths.
+int DataTypeWidth(DataType t);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TYPES_DATA_TYPE_H_

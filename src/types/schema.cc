@@ -1,0 +1,37 @@
+#include "types/schema.h"
+
+namespace cloudviews {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Schema::HashInto(HashBuilder* hb) const {
+  hb->Add(static_cast<uint64_t>(fields_.size()));
+  for (const auto& f : fields_) {
+    hb->Add(std::string_view(f.name));
+    hb->Add(static_cast<int>(f.type));
+  }
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+int64_t Schema::EstimatedRowWidth() const {
+  int64_t w = 0;
+  for (const auto& f : fields_) w += DataTypeWidth(f.type);
+  return w;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,59 @@
+#ifndef CLOUDVIEWS_TYPES_SCHEMA_H_
+#define CLOUDVIEWS_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "types/data_type.h"
+
+namespace cloudviews {
+
+/// A named, typed output column of an operator or table.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// \brief Ordered list of fields describing operator / table output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  void AddField(std::string name, DataType type) {
+    fields_.push_back({std::move(name), type});
+  }
+
+  /// Index of the column with the given name, or -1.
+  int FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) >= 0;
+  }
+
+  /// Contributes the schema's structure to a signature hash.
+  void HashInto(HashBuilder* hb) const;
+
+  bool operator==(const Schema& o) const { return fields_ == o.fields_; }
+
+  /// "name:type, name:type, ..."
+  std::string ToString() const;
+
+  /// Estimated row width in bytes (see DataTypeWidth).
+  int64_t EstimatedRowWidth() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TYPES_SCHEMA_H_

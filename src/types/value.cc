@@ -1,0 +1,145 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace cloudviews {
+
+namespace {
+
+// Civil-day <-> epoch-day conversion (Howard Hinnant's algorithms).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+}  // namespace
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+bool ParseDate(const std::string& iso, int64_t* days) {
+  int y, m, d;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &d) != 3) return false;
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  *days = DaysFromCivil(y, m, d);
+  return true;
+}
+
+Value Value::DateFromString(const std::string& iso) {
+  int64_t days;
+  if (!ParseDate(iso, &days)) return Value::Null(DataType::kDate);
+  return Value::Date(days);
+}
+
+double Value::AsDouble() const {
+  assert(!null_);
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    case DataType::kInt64:
+    case DataType::kDate:
+      return static_cast<double>(std::get<int64_t>(payload_));
+    case DataType::kDouble:
+      return double_value();
+    case DataType::kString:
+      assert(false && "AsDouble on string value");
+      return 0;
+  }
+  return 0;
+}
+
+int Value::Compare(const Value& other) const {
+  if (null_ || other.null_) {
+    if (null_ && other.null_) return 0;
+    return null_ ? -1 : 1;
+  }
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    assert(type_ == other.type_ && "comparing string with non-string");
+    return string_value().compare(other.string_value());
+  }
+  if (type_ == other.type_ && type_ != DataType::kDouble) {
+    int64_t a = type_ == DataType::kBool ? (bool_value() ? 1 : 0)
+                                         : std::get<int64_t>(payload_);
+    int64_t b = other.type_ == DataType::kBool
+                    ? (other.bool_value() ? 1 : 0)
+                    : std::get<int64_t>(other.payload_);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = AsDouble();
+  double b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+void Value::HashInto(HashBuilder* hb) const {
+  if (null_) {
+    hb->Add(uint64_t{0xdeadULL});
+    return;
+  }
+  switch (type_) {
+    case DataType::kBool:
+      hb->Add(bool_value());
+      break;
+    case DataType::kInt64:
+    case DataType::kDate:
+      hb->Add(std::get<int64_t>(payload_));
+      break;
+    case DataType::kDouble:
+      hb->Add(double_value());
+      break;
+    case DataType::kString:
+      hb->Add(std::string_view(string_value()));
+      break;
+  }
+}
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(int64_value());
+    case DataType::kDouble:
+      return StrFormat("%g", double_value());
+    case DataType::kString:
+      return "\"" + string_value() + "\"";
+    case DataType::kDate:
+      return FormatDate(date_value());
+  }
+  return "?";
+}
+
+int64_t Value::ByteSize() const {
+  if (type_ == DataType::kString && !null_) {
+    return static_cast<int64_t>(string_value().size()) + 8;
+  }
+  return DataTypeWidth(type_);
+}
+
+}  // namespace cloudviews

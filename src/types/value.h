@@ -1,0 +1,91 @@
+#ifndef CLOUDVIEWS_TYPES_VALUE_H_
+#define CLOUDVIEWS_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+#include "types/data_type.h"
+
+namespace cloudviews {
+
+/// \brief A single scalar value (possibly null) with a runtime type tag.
+///
+/// Values appear in expression literals, aggregation states, and row
+/// materialization. Dates share the int64 payload with kDate as the tag.
+class Value {
+ public:
+  /// Null of unspecified type.
+  Value() : type_(DataType::kInt64), null_(true) {}
+
+  static Value Null(DataType t) {
+    Value v;
+    v.type_ = t;
+    v.null_ = true;
+    return v;
+  }
+  static Value Bool(bool b) { return Value(DataType::kBool, b); }
+  static Value Int64(int64_t i) { return Value(DataType::kInt64, i); }
+  static Value Double(double d) { return Value(DataType::kDouble, d); }
+  static Value String(std::string s) {
+    return Value(DataType::kString, std::move(s));
+  }
+  /// Days since 1970-01-01.
+  static Value Date(int64_t days) { return Value(DataType::kDate, days); }
+
+  /// Parses "YYYY-MM-DD" into a date value; returns null date on failure.
+  static Value DateFromString(const std::string& iso);
+
+  DataType type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  bool bool_value() const { return std::get<bool>(payload_); }
+  int64_t int64_value() const { return std::get<int64_t>(payload_); }
+  double double_value() const { return std::get<double>(payload_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(payload_);
+  }
+  int64_t date_value() const { return std::get<int64_t>(payload_); }
+
+  /// Numeric view: int64/date widen to double; bool to 0/1. Requires a
+  /// non-null, non-string value.
+  double AsDouble() const;
+
+  /// Total order consistent with SQL semantics for same-typed values;
+  /// nulls sort first. Mixed numeric types compare as doubles.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  /// Stable content hash (used for hash joins / group by).
+  void HashInto(HashBuilder* hb) const;
+
+  /// Rendering for plan literals and debugging; strings are quoted, dates
+  /// render as YYYY-MM-DD.
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes (for size statistics).
+  int64_t ByteSize() const;
+
+ private:
+  template <typename T>
+  Value(DataType t, T payload)
+      : type_(t), null_(false), payload_(std::move(payload)) {}
+
+  DataType type_;
+  bool null_;
+  std::variant<bool, int64_t, double, std::string> payload_;
+};
+
+/// Formats days-since-epoch as YYYY-MM-DD (proleptic Gregorian).
+std::string FormatDate(int64_t days);
+
+/// Parses YYYY-MM-DD to days-since-epoch; returns false on malformed input.
+bool ParseDate(const std::string& iso, int64_t* days);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TYPES_VALUE_H_

@@ -1,0 +1,414 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "plan/plan_builder.h"
+
+namespace cloudviews {
+
+namespace {
+
+Schema LogSchema() {
+  return Schema({{"uid", DataType::kInt64},
+                 {"page", DataType::kString},
+                 {"latency", DataType::kInt64},
+                 {"when", DataType::kDate}});
+}
+
+Schema EventSchema() {
+  return Schema({{"eid", DataType::kInt64},
+                 {"kind", DataType::kString},
+                 {"value", DataType::kDouble},
+                 {"ts", DataType::kDate}});
+}
+
+bool IsLogDataset(int dataset) { return dataset % 2 == 0; }
+
+std::string DatasetTemplate(int dataset) {
+  return StrFormat("in%d_{date}", dataset);
+}
+
+std::string DatasetStream(int dataset, const std::string& date) {
+  return StrFormat("in%d_%s", dataset, date.c_str());
+}
+
+PlanBuilder ExtractDataset(int dataset, const std::string& date) {
+  std::string stream = DatasetStream(dataset, date);
+  return PlanBuilder::Extract(DatasetTemplate(dataset), stream,
+                              "guid-" + stream,
+                              IsLogDataset(dataset) ? LogSchema()
+                                                    : EventSchema());
+}
+
+/// Recurring date predicate shared by all fragments: normalizes away, but
+/// pins the precise signature to the instance.
+ExprPtr DatePredicate(int dataset, const std::string& date) {
+  const char* col = IsLogDataset(dataset) ? "when" : "ts";
+  return Ge(Col(col), Param("date", Value::DateFromString(date)));
+}
+
+}  // namespace
+
+ClusterProfile Fig1ClusterProfile(int cluster_index) {
+  ClusterProfile p;
+  p.name = StrFormat("cluster%d", cluster_index + 1);
+  p.seed = 1000 + static_cast<uint64_t>(cluster_index);
+  p.uniform_sharing = true;
+  switch (cluster_index) {
+    case 0:
+      p.num_templates = 220;
+      p.num_users = 90;
+      p.p_share = 0.88;
+      p.num_shared_fragments = 36;
+      break;
+    case 1:
+      p.num_templates = 180;
+      p.num_users = 75;
+      p.p_share = 0.80;
+      p.num_shared_fragments = 40;
+      break;
+    case 2:  // the low-overlap outlier of Fig 1
+      p.num_templates = 120;
+      p.num_users = 40;
+      p.p_share = 0.42;
+      p.num_shared_fragments = 50;
+      break;
+    case 3:
+      p.num_templates = 200;
+      p.num_users = 80;
+      p.p_share = 0.75;
+      p.num_shared_fragments = 44;
+      break;
+    default:
+      p.num_templates = 240;
+      p.num_users = 95;
+      p.p_share = 0.82;
+      p.num_shared_fragments = 38;
+      break;
+  }
+  return p;
+}
+
+ClusterProfile LargestClusterProfile() {
+  ClusterProfile p;
+  p.name = "largest";
+  p.num_vcs = 160;
+  p.num_users = 300;
+  p.num_templates = 1100;
+  p.num_shared_fragments = 500;
+  p.p_share = 0.55;
+  p.sharing_theta = 0.2;
+  p.isolated_vc_fraction = 0.12;
+  p.num_input_datasets = 40;
+  p.rows_per_input = 200;
+  p.seed = 7;
+  return p;
+}
+
+ClusterProfile BusinessUnitProfile() {
+  ClusterProfile p;
+  p.name = "bu-large";
+  p.num_vcs = 24;
+  p.num_users = 80;
+  p.num_templates = 500;
+  p.num_shared_fragments = 90;
+  p.p_share = 0.7;
+  p.sharing_theta = 0.9;
+  p.num_input_datasets = 120;
+  p.rows_per_input = 300;
+  p.seed = 17;
+  return p;
+}
+
+SyntheticWorkloadGenerator::SyntheticWorkloadGenerator(ClusterProfile profile)
+    : profile_(profile) {
+  Rng rng(profile_.seed);
+  ZipfGenerator zipf(static_cast<size_t>(profile_.num_shared_fragments),
+                     profile_.sharing_theta);
+  // Per-VC sharing propensity: some VCs are fully isolated, the rest vary
+  // widely around the cluster average (Sec 2.1: overlap is cluster-wide
+  // but not uniform).
+  std::vector<double> vc_share(static_cast<size_t>(profile_.num_vcs));
+  for (auto& p : vc_share) {
+    if (profile_.uniform_sharing) {
+      p = profile_.p_share;
+    } else if (rng.Bernoulli(profile_.isolated_vc_fraction)) {
+      p = 0.0;
+    } else {
+      p = std::min(0.97, (0.3 + 1.4 * rng.NextDouble()) * profile_.p_share);
+    }
+  }
+  // VC sizes are themselves skewed: busy VCs submit many more jobs.
+  ZipfGenerator vc_zipf(static_cast<size_t>(profile_.num_vcs), 0.5);
+  templates_.reserve(static_cast<size_t>(profile_.num_templates));
+  for (int t = 0; t < profile_.num_templates; ++t) {
+    TemplateSpec spec;
+    spec.vc = static_cast<int>(vc_zipf.Sample(&rng));
+    if (rng.Bernoulli(vc_share[static_cast<size_t>(spec.vc)])) {
+      // A handful of "hot" cooking fragments account for the extreme
+      // overlap-frequency tail (Fig 2b tops out above 100 in the paper).
+      spec.fragment_id = rng.Bernoulli(0.06)
+                             ? static_cast<int>(rng.Uniform(2))
+                             : static_cast<int>(zipf.Sample(&rng));
+    } else {
+      // A private fragment nobody else uses; ids continue past the shared
+      // pool so its plan constants are unique.
+      spec.fragment_id = profile_.num_shared_fragments + t;
+    }
+    spec.tail_kind = static_cast<int>(rng.Uniform(6));
+    spec.user = static_cast<int>(rng.Uniform(
+        static_cast<uint64_t>(profile_.num_users)));
+    double which = rng.NextDouble();
+    spec.period = which < 0.15 ? kSecondsPerHour
+                               : (which < 0.95 ? kSecondsPerDay
+                                               : kSecondsPerWeek);
+    templates_.push_back(spec);
+  }
+}
+
+void SyntheticWorkloadGenerator::WriteInputs(StorageManager* storage,
+                                             const std::string& date) const {
+  int64_t day = 0;
+  ParseDate(date, &day);
+  static const char* kPages[] = {"/home", "/search", "/cart", "/list",
+                                 "/detail", "/pay"};
+  static const char* kKinds[] = {"click", "view", "purchase", "error"};
+  for (int ds = 0; ds < profile_.num_input_datasets; ++ds) {
+    // New data every instance: the seed mixes the date.
+    Rng rng(profile_.seed * 31 + static_cast<uint64_t>(ds) * 7 +
+            Fnv1a64(date.data(), date.size()));
+    std::string name = DatasetStream(ds, date);
+    if (IsLogDataset(ds)) {
+      Batch b(LogSchema());
+      for (size_t r = 0; r < profile_.rows_per_input; ++r) {
+        (void)b.AppendRow({Value::Int64(static_cast<int64_t>(
+                               rng.Uniform(500))),
+                           Value::String(kPages[rng.Uniform(6)]),
+                           Value::Int64(static_cast<int64_t>(
+                               rng.Uniform(1000))),
+                           Value::Date(day)});
+      }
+      (void)storage->WriteStream(MakeStreamData(
+          name, "guid-" + name, LogSchema(), {b}, storage->clock()->Now()));
+    } else {
+      Batch b(EventSchema());
+      for (size_t r = 0; r < profile_.rows_per_input; ++r) {
+        (void)b.AppendRow({Value::Int64(static_cast<int64_t>(
+                               rng.Uniform(500))),
+                           Value::String(kKinds[rng.Uniform(4)]),
+                           Value::Double(rng.NextDouble() * 100.0),
+                           Value::Date(day)});
+      }
+      (void)storage->WriteStream(MakeStreamData(name, "guid-" + name,
+                                                EventSchema(), {b},
+                                                storage->clock()->Now()));
+    }
+  }
+}
+
+PlanNodePtr SyntheticWorkloadGenerator::BuildFragment(
+    int fragment_id, const std::string& date) const {
+  int ds = fragment_id % profile_.num_input_datasets;
+  int64_t c = 10 + (static_cast<int64_t>(fragment_id) * 37) % 700;
+  int shape = fragment_id % 5;
+  bool logs = IsLogDataset(ds);
+  const char* num_col = logs ? "latency" : "eid";
+  const char* str_col = logs ? "page" : "kind";
+  const char* num2_col = logs ? "uid" : "eid";
+
+  switch (shape) {
+    case 0: {
+      // Filtered group-by aggregate (the canonical shared cooking step).
+      std::vector<AggregateSpec> aggs;
+      aggs.push_back({AggFunc::kCount, nullptr, "n"});
+      if (logs) {
+        aggs.push_back({AggFunc::kSum, Col("latency"), "total"});
+      } else {
+        aggs.push_back({AggFunc::kAvg, Col("value"), "avg_value"});
+      }
+      return ExtractDataset(ds, date)
+          .Filter(And(Gt(Col(num_col), Lit(c)), DatePredicate(ds, date)))
+          .Aggregate({str_col}, std::move(aggs))
+          .Sort({{str_col, true}})
+          .Build();
+    }
+    case 1: {
+      // Filter + derived-column projection (ComputeScalar style).
+      return ExtractDataset(ds, date)
+          .Filter(And(Lt(Col(num_col), Lit(c + 400)),
+                      DatePredicate(ds, date)))
+          .Project({{Col(str_col), "key"},
+                    {Add(Col(num2_col), Lit(c)), "score"}})
+          .Exchange(Partitioning::Hash({"key"}, 8))
+          .Sort({{"score", false}})
+          .Build();
+    }
+    case 2: {
+      // Filter (fragment-specific) feeding a user-defined processor; the
+      // constant keeps private fragments from sharing a prep prefix.
+      Schema schema = logs ? LogSchema() : EventSchema();
+      return ExtractDataset(ds, date)
+          .Filter(And(Gt(Col(num_col), Lit(c / 2)),
+                      DatePredicate(ds, date)))
+          .Process("cleanse", "datacooking", "3.2", schema)
+          .Exchange(Partitioning::Hash({num2_col}, 8))
+          .Sort({{num_col, true}})
+          .Build();
+    }
+    case 3: {
+      // Two-input join (producer/consumer pattern across datasets).
+      int other = (ds + 1) % profile_.num_input_datasets;
+      if (IsLogDataset(other) == logs) {
+        other = (ds + 2) % profile_.num_input_datasets;
+      }
+      auto left = ExtractDataset(ds, date)
+                      .Filter(And(Ge(Col(num_col), Lit(c % 50)),
+                                  DatePredicate(ds, date)));
+      const char* other_num = IsLogDataset(other) ? "latency" : "eid";
+      auto right = ExtractDataset(other, date)
+                       .Filter(And(Lt(Col(other_num), Lit(c + 650)),
+                                   DatePredicate(other, date)));
+      const char* lkey = logs ? "uid" : "eid";
+      const char* rkey = IsLogDataset(other) ? "uid" : "eid";
+      return std::move(left)
+          .Join(std::move(right), JoinType::kInner, {{lkey, rkey}})
+          .Exchange(Partitioning::Hash({lkey}, 8))
+          .Sort({{lkey, true}})
+          .Build();
+    }
+    default: {
+      // Filter + sort (explicit shuffle/sort-heavy cooking output).
+      return ExtractDataset(ds, date)
+          .Filter(And(Ge(Col(num_col), Lit(c % 100)),
+                      DatePredicate(ds, date)))
+          .Sort({{str_col, true}, {num_col, false}})
+          .Build();
+    }
+  }
+}
+
+PlanNodePtr SyntheticWorkloadGenerator::BuildTail(const TemplateSpec& spec,
+                                                  int template_id,
+                                                  PlanNodePtr input,
+                                                  const std::string& date)
+    const {
+  // Bind a clone to learn the fragment's output schema; the returned tail
+  // reuses the original (unbound) input.
+  PlanNodePtr probe = input->Clone();
+  if (!probe->Bind().ok()) return nullptr;
+  const Schema& schema = probe->output_schema();
+  int first_num = -1, first_str = -1;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    DataType t = schema.field(i).type;
+    if (first_num < 0 &&
+        (t == DataType::kInt64 || t == DataType::kDouble)) {
+      first_num = static_cast<int>(i);
+    }
+    if (first_str < 0 && t == DataType::kString) {
+      first_str = static_cast<int>(i);
+    }
+  }
+  std::string out_name =
+      StrFormat("out_t%d_%s", template_id, date.c_str());
+
+  switch (spec.tail_kind) {
+    case 0:
+      // Bare output: templates sharing fragment + tail 0 are entirely
+      // duplicate jobs ("Discarding redundant jobs", Sec 8).
+      return PlanBuilder::From(input).Output(out_name).Build();
+    case 1: {
+      if (first_num < 0) {
+        return PlanBuilder::From(input).Output(out_name).Build();
+      }
+      return PlanBuilder::From(input)
+          .Sort({{schema.field(static_cast<size_t>(first_num)).name, false}})
+          .Top(10 + template_id % 20)
+          .Output(out_name)
+          .Build();
+    }
+    case 2: {
+      if (first_num < 0) {
+        return PlanBuilder::From(input).Output(out_name).Build();
+      }
+      const std::string& col =
+          schema.field(static_cast<size_t>(first_num)).name;
+      return PlanBuilder::From(input)
+          .Filter(Gt(Col(col), Lit(static_cast<int64_t>(template_id % 50))))
+          .Output(out_name)
+          .Build();
+    }
+    case 3: {
+      std::vector<NamedExpr> exprs;
+      for (const auto& f : schema.fields()) exprs.push_back({Col(f.name), f.name});
+      if (first_num >= 0) {
+        exprs.push_back(
+            {Mul(Col(schema.field(static_cast<size_t>(first_num)).name),
+                 Lit(static_cast<int64_t>(1 + template_id % 7))),
+             "derived"});
+      }
+      return PlanBuilder::From(input)
+          .Project(std::move(exprs))
+          .Output(out_name)
+          .Build();
+    }
+    default: {
+      // Heavy private post-processing: join the fragment output with
+      // another dataset and aggregate. This keeps the shared fragment a
+      // *fraction* of the job (the view-to-query ratios of Fig 5d).
+      int join_col = first_str >= 0 ? first_str : first_num;
+      if (join_col < 0) {
+        return PlanBuilder::From(input).Output(out_name).Build();
+      }
+      const Field& jf = schema.field(static_cast<size_t>(join_col));
+      int other_ds =
+          (template_id * 13 + 5) % profile_.num_input_datasets;
+      bool other_logs = IsLogDataset(other_ds);
+      const char* other_key =
+          jf.type == DataType::kString ? (other_logs ? "page" : "kind")
+                                       : (other_logs ? "uid" : "eid");
+      const char* other_val = other_logs ? "latency" : "eid";
+      auto other =
+          ExtractDataset(other_ds, date)
+              .Filter(Gt(Col(other_logs ? "latency" : "eid"),
+                         Lit(static_cast<int64_t>(template_id % 90))))
+              .Project({{Col(other_key), "jk"}, {Col(other_val), "jv"}});
+      std::vector<AggregateSpec> aggs;
+      aggs.push_back({AggFunc::kCount, nullptr, "n2"});
+      if (spec.tail_kind == 4) {
+        aggs.push_back({AggFunc::kSum, Col("jv"), "jv_total"});
+      } else {
+        aggs.push_back({AggFunc::kMax, Col("jv"), "jv_max"});
+      }
+      return PlanBuilder::From(input)
+          .Join(std::move(other), JoinType::kInner, {{jf.name, "jk"}})
+          .Aggregate({jf.name}, std::move(aggs))
+          .Sort({{jf.name, true}})
+          .Output(out_name)
+          .Build();
+    }
+  }
+}
+
+std::vector<JobDefinition> SyntheticWorkloadGenerator::Instance(
+    const std::string& date) const {
+  std::vector<JobDefinition> jobs;
+  jobs.reserve(templates_.size());
+  for (size_t t = 0; t < templates_.size(); ++t) {
+    const TemplateSpec& spec = templates_[t];
+    JobDefinition def;
+    def.template_id = StrFormat("%s_t%zu", profile_.name.c_str(), t);
+    def.cluster = profile_.name;
+    def.vc = StrFormat("vc%d", spec.vc);
+    def.business_unit = StrFormat("bu%d", spec.vc / 5);
+    def.user = StrFormat("u%d", spec.user);
+    def.recurrence_period = spec.period;
+    PlanNodePtr fragment = BuildFragment(spec.fragment_id, date);
+    def.logical_plan =
+        BuildTail(spec, static_cast<int>(t), fragment, date);
+    jobs.push_back(std::move(def));
+  }
+  return jobs;
+}
+
+}  // namespace cloudviews

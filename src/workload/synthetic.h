@@ -1,0 +1,90 @@
+#ifndef CLOUDVIEWS_WORKLOAD_SYNTHETIC_H_
+#define CLOUDVIEWS_WORKLOAD_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "runtime/job_service.h"
+#include "storage/storage_manager.h"
+
+namespace cloudviews {
+
+/// \brief Shape parameters of one simulated cluster's recurring workload.
+///
+/// The production traces behind Figs 1-5 are proprietary; this generator
+/// reproduces their published aggregate shape instead: recurring templates
+/// drawn from a Zipf-skewed pool of shared computation fragments (the
+/// "users start from other people's scripts" and producer/consumer effects
+/// of Sec 2.1), spread across VCs and users.
+struct ClusterProfile {
+  std::string name = "cluster";
+  int num_vcs = 20;
+  int num_users = 40;
+  /// Recurring job templates; one job per template per recurring instance.
+  int num_templates = 200;
+  /// Pool of shared computation fragments templates draw from.
+  int num_shared_fragments = 40;
+  /// Cluster-wide average probability that a template embeds a *shared*
+  /// fragment (vs a private one); drives the fraction of overlapping jobs.
+  /// The per-VC propensity varies around this (and some VCs are isolated),
+  /// reproducing Fig 2a's spread from 0% to 100% per-VC overlap.
+  double p_share = 0.75;
+  /// Fraction of VCs whose workload is entirely private (0% overlap).
+  double isolated_vc_fraction = 0.1;
+  /// When true, every VC shares with probability p_share exactly (no
+  /// per-VC heterogeneity); used for cluster-level aggregates where VC
+  /// variance would swamp the profile.
+  bool uniform_sharing = false;
+  /// Zipf skew of fragment popularity (higher = heavier head), matching
+  /// the heavily skewed overlap frequencies of Sec 2.4.
+  double sharing_theta = 1.2;
+  /// Input datasets (recurring streams) fragments read from.
+  int num_input_datasets = 12;
+  /// Rows per input stream per instance.
+  size_t rows_per_input = 400;
+  uint64_t seed = 42;
+};
+
+/// The five clusters of Fig 1 (cluster3 is the low-overlap outlier) and the
+/// 160-VC largest cluster of Fig 2.
+ClusterProfile Fig1ClusterProfile(int cluster_index);
+ClusterProfile LargestClusterProfile();
+/// One large business unit (Fig 3-5 granularity).
+ClusterProfile BusinessUnitProfile();
+
+/// \brief Deterministic generator of recurring-instance workloads for one
+/// cluster profile.
+class SyntheticWorkloadGenerator {
+ public:
+  explicit SyntheticWorkloadGenerator(ClusterProfile profile);
+
+  const ClusterProfile& profile() const { return profile_; }
+
+  /// Writes all input streams for one recurring instance.
+  void WriteInputs(StorageManager* storage, const std::string& date) const;
+
+  /// Job definitions of one recurring instance (one per template), in
+  /// template order.
+  std::vector<JobDefinition> Instance(const std::string& date) const;
+
+ private:
+  struct TemplateSpec {
+    int fragment_id;       // < 0: private fragment unique to this template
+    int tail_kind;
+    int vc;
+    int user;
+    LogicalTime period;
+  };
+
+  PlanNodePtr BuildFragment(int fragment_id, const std::string& date) const;
+  PlanNodePtr BuildTail(const TemplateSpec& spec, int template_id,
+                        PlanNodePtr input, const std::string& date) const;
+
+  ClusterProfile profile_;
+  std::vector<TemplateSpec> templates_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/guid.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace cloudviews {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing stream");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing stream");
+  EXPECT_EQ(st.ToString(), "Not found: missing stream");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Aborted("lock lost");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsAborted());
+  EXPECT_EQ(copy.message(), "lock lost");
+  st = Status::OK();
+  EXPECT_TRUE(copy.IsAborted());  // deep copy, not aliased
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    CV_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto get = [](bool ok) -> Result<std::string> {
+    if (!ok) return Status::NotFound("nope");
+    return std::string("value");
+  };
+  auto use = [&](bool ok) -> Result<size_t> {
+    CV_ASSIGN_OR_RETURN(std::string s, get(ok));
+    return s.size();
+  };
+  EXPECT_EQ(*use(true), 5u);
+  EXPECT_TRUE(use(false).status().IsNotFound());
+}
+
+// --- Hashing -----------------------------------------------------------------
+
+TEST(HashTest, DeterministicAcrossBuilders) {
+  HashBuilder a, b;
+  a.Add(uint64_t{42}).Add(std::string_view("hello")).Add(3.14);
+  b.Add(uint64_t{42}).Add(std::string_view("hello")).Add(3.14);
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
+TEST(HashTest, OrderSensitive) {
+  HashBuilder a, b;
+  a.Add(uint64_t{1}).Add(uint64_t{2});
+  b.Add(uint64_t{2}).Add(uint64_t{1});
+  EXPECT_NE(a.Finish(), b.Finish());
+}
+
+TEST(HashTest, StringBoundariesMatter) {
+  // "ab" + "c" must differ from "a" + "bc".
+  HashBuilder a, b;
+  a.Add(std::string_view("ab")).Add(std::string_view("c"));
+  b.Add(std::string_view("a")).Add(std::string_view("bc"));
+  EXPECT_NE(a.Finish(), b.Finish());
+}
+
+TEST(HashTest, EmptyBuilderIsStable) {
+  EXPECT_EQ(HashBuilder().Finish(), HashBuilder().Finish());
+  EXPECT_FALSE(HashBuilder().Finish().IsZero());
+}
+
+TEST(HashTest, SeedChangesResult) {
+  HashBuilder a(1), b(2);
+  a.Add(uint64_t{7});
+  b.Add(uint64_t{7});
+  EXPECT_NE(a.Finish(), b.Finish());
+}
+
+TEST(HashTest, HexRoundTrip) {
+  HashBuilder hb;
+  hb.Add(std::string_view("roundtrip"));
+  Hash128 h = hb.Finish();
+  std::string hex = h.ToHex();
+  EXPECT_EQ(hex.size(), 32u);
+  Hash128 parsed;
+  ASSERT_TRUE(Hash128::FromHex(hex, &parsed));
+  EXPECT_EQ(parsed, h);
+}
+
+TEST(HashTest, FromHexRejectsMalformed) {
+  Hash128 h;
+  EXPECT_FALSE(Hash128::FromHex("short", &h));
+  EXPECT_FALSE(Hash128::FromHex(std::string(32, 'z'), &h));
+}
+
+TEST(HashTest, NoCollisionsOnSmallDomain) {
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    HashBuilder hb;
+    hb.Add(i);
+    seen.insert(hb.Finish().ToHex());
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+// --- Rng / Zipf ----------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfTest, SkewsTowardsLowRanks) {
+  ZipfGenerator zipf(1000, 1.1);
+  Rng rng(5);
+  int rank0 = 0, high_ranks = 0;
+  for (int i = 0; i < 10000; ++i) {
+    size_t s = zipf.Sample(&rng);
+    ASSERT_LT(s, 1000u);
+    if (s == 0) ++rank0;
+    if (s > 500) ++high_ranks;
+  }
+  EXPECT_GT(rank0, high_ranks);  // heavy head
+  EXPECT_GT(rank0, 1000);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+// --- DistributionSummary --------------------------------------------------------
+
+TEST(StatsTest, PercentilesOnKnownData) {
+  DistributionSummary s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Min(), 1);
+  EXPECT_DOUBLE_EQ(s.Max(), 100);
+  EXPECT_NEAR(s.Median(), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(95), 95.05, 0.01);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+}
+
+TEST(StatsTest, CdfSemantics) {
+  DistributionSummary s;
+  s.AddAll({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.CdfAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10), 1.0);
+  EXPECT_DOUBLE_EQ(s.FractionAtLeast(3), 0.5);
+  EXPECT_DOUBLE_EQ(s.FractionAtLeast(5), 0.0);
+}
+
+TEST(StatsTest, EmptySummaryIsSafe) {
+  DistributionSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(1), 0);
+}
+
+TEST(StatsTest, AddAfterQueryResorts) {
+  DistributionSummary s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Max(), 10);
+  s.Add(20);
+  EXPECT_DOUBLE_EQ(s.Max(), 20);
+}
+
+TEST(StatsTest, LogSpaceCoversRange) {
+  auto xs = LogSpace(1, 1000, 2);
+  EXPECT_DOUBLE_EQ(xs.front(), 1);
+  EXPECT_GE(xs.back(), 1000);
+  for (size_t i = 1; i < xs.size(); ++i) EXPECT_GT(xs[i], xs[i - 1]);
+}
+
+// --- Strings -------------------------------------------------------------------
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(StringUtilTest, StartsEndsReplace) {
+  EXPECT_TRUE(StartsWith("/views/abc", "/views/"));
+  EXPECT_FALSE(StartsWith("x", "xx"));
+  EXPECT_TRUE(EndsWith("file.ss", ".ss"));
+  EXPECT_EQ(ReplaceAll("a{d}b{d}", "{d}", "X"), "aXbX");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+// --- Misc ---------------------------------------------------------------------
+
+TEST(ClockTest, AdvanceAndSet) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.AdvanceSeconds(kSecondsPerHour);
+  EXPECT_EQ(clock.Now(), 100 + 3600);
+  clock.AdvanceTo(5);
+  EXPECT_EQ(clock.Now(), 5);
+}
+
+TEST(GuidTest, UniqueAcrossCallsAndThreads) {
+  std::set<std::string> guids;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        std::string g = GenerateGuid();
+        std::lock_guard<std::mutex> lock(mu);
+        guids.insert(g);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(guids.size(), 400u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.AddRow({"x", "1"});
+  tp.AddRow({"longer", "22"});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowsUsePrecision) {
+  TablePrinter tp({"series", "a", "b"});
+  tp.AddRow("row", {1.23456, 2.0}, 3);
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("2.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,466 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/executor.h"
+#include "exec/processor_registry.h"
+#include "plan/plan_builder.h"
+#include "signature/signature.h"
+
+namespace cloudviews {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : storage_(&clock_) {}
+
+  void SetUp() override {
+    Schema sales({{"region", DataType::kString},
+                  {"product", DataType::kInt64},
+                  {"amount", DataType::kDouble},
+                  {"qty", DataType::kInt64}});
+    Batch b(sales);
+    auto add = [&](const char* r, int64_t p, double a, int64_t q) {
+      ASSERT_TRUE(b.AppendRow({Value::String(r), Value::Int64(p),
+                               Value::Double(a), Value::Int64(q)})
+                      .ok());
+    };
+    add("east", 1, 10.0, 1);
+    add("west", 2, 20.0, 2);
+    add("east", 1, 30.0, 3);
+    add("north", 3, 40.0, 4);
+    add("west", 1, 50.0, 5);
+    ASSERT_TRUE(storage_
+                    .WriteStream(MakeStreamData("sales", "g-sales", sales,
+                                                {b}, clock_.Now()))
+                    .ok());
+    sales_schema_ = sales;
+
+    Schema products({{"pid", DataType::kInt64},
+                     {"category", DataType::kString}});
+    Batch p(products);
+    ASSERT_TRUE(p.AppendRow({Value::Int64(1), Value::String("toys")}).ok());
+    ASSERT_TRUE(p.AppendRow({Value::Int64(2), Value::String("books")}).ok());
+    ASSERT_TRUE(
+        storage_
+            .WriteStream(MakeStreamData("products", "g-prod", products, {p},
+                                        clock_.Now()))
+            .ok());
+    products_schema_ = products;
+  }
+
+  PlanBuilder Sales() {
+    return PlanBuilder::Extract("sales", "sales", "g-sales", sales_schema_);
+  }
+  PlanBuilder Products() {
+    return PlanBuilder::Extract("products", "products", "g-prod",
+                                products_schema_);
+  }
+
+  /// Binds, ids, and executes; expects success.
+  JobRunStats Run(PlanNodePtr plan, ExecContext ctx = {}) {
+    EXPECT_TRUE(plan->Bind().ok());
+    AssignNodeIds(plan.get());
+    ctx.storage = &storage_;
+    Executor exec(ctx);
+    auto result = exec.Execute(plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  /// Runs a plan ending in Output and returns the written stream.
+  StreamHandle RunToStream(PlanNodePtr plan, const std::string& out_name) {
+    Run(std::move(plan));
+    auto handle = storage_.OpenStream(out_name);
+    EXPECT_TRUE(handle.ok());
+    return *handle;
+  }
+
+  SimulatedClock clock_;
+  StorageManager storage_;
+  Schema sales_schema_;
+  Schema products_schema_;
+};
+
+TEST_F(ExecTest, ExtractReadsAllRows) {
+  auto stats = Run(Sales().Build());
+  EXPECT_EQ(stats.output_rows, 5);
+  EXPECT_GT(stats.output_bytes, 0);
+}
+
+TEST_F(ExecTest, ExtractMissingStreamFails) {
+  auto plan = PlanBuilder::Extract("ghost", "ghost", "g", sales_schema_)
+                  .Build();
+  ASSERT_TRUE(plan->Bind().ok());
+  AssignNodeIds(plan.get());
+  ExecContext ctx;
+  ctx.storage = &storage_;
+  Executor exec(ctx);
+  EXPECT_TRUE(exec.Execute(plan).status().IsNotFound());
+}
+
+TEST_F(ExecTest, ExtractSchemaMismatchFails) {
+  Schema wrong({{"region", DataType::kString}});
+  auto plan = PlanBuilder::Extract("sales", "sales", "g", wrong).Build();
+  ASSERT_TRUE(plan->Bind().ok());
+  AssignNodeIds(plan.get());
+  ExecContext ctx;
+  ctx.storage = &storage_;
+  Executor exec(ctx);
+  EXPECT_TRUE(exec.Execute(plan).status().IsTypeError());
+}
+
+TEST_F(ExecTest, FilterSelectsMatchingRows) {
+  auto stats = Run(Sales().Filter(Gt(Col("amount"), Lit(25.0))).Build());
+  EXPECT_EQ(stats.output_rows, 3);
+}
+
+TEST_F(ExecTest, ProjectComputesExpressions) {
+  auto handle = RunToStream(
+      Sales()
+          .Project({{Col("region"), "region"},
+                    {Mul(Col("amount"), Lit(2.0)), "double_amount"}})
+          .Output("proj_out")
+          .Build(),
+      "proj_out");
+  Batch out = CombineBatches(handle->schema, handle->batches);
+  ASSERT_EQ(out.num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(out.GetRow(0)[1].double_value(), 20.0);
+}
+
+TEST_F(ExecTest, HashJoinInner) {
+  auto stats = Run(Sales()
+                       .Join(Products(), JoinType::kInner,
+                             {{"product", "pid"}})
+                       .Build());
+  EXPECT_EQ(stats.output_rows, 4);  // products 1 and 2 only
+}
+
+TEST_F(ExecTest, HashJoinLeftOuterPadsNulls) {
+  auto handle = RunToStream(Sales()
+                                .Join(Products(), JoinType::kLeftOuter,
+                                      {{"product", "pid"}})
+                                .Output("lo_out")
+                                .Build(),
+                            "lo_out");
+  Batch out = CombineBatches(handle->schema, handle->batches);
+  EXPECT_EQ(out.num_rows(), 5u);
+  bool found_null = false;
+  int cat_idx = out.schema().FieldIndex("category");
+  ASSERT_GE(cat_idx, 0);
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    found_null |= out.column(static_cast<size_t>(cat_idx)).IsNull(r);
+  }
+  EXPECT_TRUE(found_null);  // product 3 has no match
+}
+
+TEST_F(ExecTest, MergeJoinMatchesHashJoin) {
+  auto make = [&](JoinAlgorithm alg) {
+    auto left = Sales().Sort({{"product", true}}).Build();
+    auto right = Products().Sort({{"pid", true}}).Build();
+    auto join = std::make_shared<JoinNode>(
+        left, right, JoinType::kInner,
+        std::vector<std::pair<std::string, std::string>>{
+            {"product", "pid"}});
+    join->set_algorithm(alg);
+    return PlanBuilder::From(join)
+        .Aggregate({}, {{AggFunc::kCount, nullptr, "n"},
+                        {AggFunc::kSum, Col("amount"), "total"}})
+        .Build();
+  };
+  auto h = RunToStream(PlanBuilder::From(make(JoinAlgorithm::kHash))
+                           .Output("h_out")
+                           .Build(),
+                       "h_out");
+  auto m = RunToStream(PlanBuilder::From(make(JoinAlgorithm::kMerge))
+                           .Output("m_out")
+                           .Build(),
+                       "m_out");
+  Batch hb = CombineBatches(h->schema, h->batches);
+  Batch mb = CombineBatches(m->schema, m->batches);
+  ASSERT_EQ(hb.num_rows(), 1u);
+  ASSERT_EQ(mb.num_rows(), 1u);
+  EXPECT_EQ(hb.GetRow(0)[0].int64_value(), mb.GetRow(0)[0].int64_value());
+  EXPECT_DOUBLE_EQ(hb.GetRow(0)[1].double_value(),
+                   mb.GetRow(0)[1].double_value());
+}
+
+TEST_F(ExecTest, HashAggregateGroups) {
+  auto handle = RunToStream(
+      Sales()
+          .Aggregate({"region"}, {{AggFunc::kCount, nullptr, "n"},
+                                  {AggFunc::kSum, Col("amount"), "total"}})
+          .Sort({{"region", true}})
+          .Output("agg_out")
+          .Build(),
+      "agg_out");
+  Batch out = CombineBatches(handle->schema, handle->batches);
+  ASSERT_EQ(out.num_rows(), 3u);
+  // Sorted: east, north, west.
+  EXPECT_EQ(out.GetRow(0)[0].string_value(), "east");
+  EXPECT_EQ(out.GetRow(0)[1].int64_value(), 2);
+  EXPECT_DOUBLE_EQ(out.GetRow(0)[2].double_value(), 40.0);
+  EXPECT_EQ(out.GetRow(2)[0].string_value(), "west");
+  EXPECT_DOUBLE_EQ(out.GetRow(2)[2].double_value(), 70.0);
+}
+
+TEST_F(ExecTest, StreamAggregateMatchesHashAggregate) {
+  auto make = [&](AggAlgorithm alg) {
+    auto sorted = Sales().Sort({{"region", true}}).Build();
+    auto agg = std::make_shared<AggregateNode>(
+        sorted, std::vector<std::string>{"region"},
+        std::vector<AggregateSpec>{{AggFunc::kSum, Col("qty"), "q"}});
+    agg->set_algorithm(alg);
+    return PlanBuilder::From(agg).Sort({{"region", true}}).Build();
+  };
+  auto h = RunToStream(
+      PlanBuilder::From(make(AggAlgorithm::kHash)).Output("ha").Build(),
+      "ha");
+  auto s = RunToStream(
+      PlanBuilder::From(make(AggAlgorithm::kStream)).Output("sa").Build(),
+      "sa");
+  Batch hb = CombineBatches(h->schema, h->batches);
+  Batch sb = CombineBatches(s->schema, s->batches);
+  ASSERT_EQ(hb.num_rows(), sb.num_rows());
+  for (size_t r = 0; r < hb.num_rows(); ++r) {
+    EXPECT_EQ(hb.GetRow(r)[0].string_value(), sb.GetRow(r)[0].string_value());
+    EXPECT_EQ(hb.GetRow(r)[1].int64_value(), sb.GetRow(r)[1].int64_value());
+  }
+}
+
+TEST_F(ExecTest, GlobalAggregateOnEmptyInputYieldsOneRow) {
+  auto handle = RunToStream(
+      Sales()
+          .Filter(Gt(Col("amount"), Lit(1e9)))  // nothing passes
+          .Aggregate({}, {{AggFunc::kCount, nullptr, "n"},
+                          {AggFunc::kMax, Col("amount"), "m"}})
+          .Output("empty_agg")
+          .Build(),
+      "empty_agg");
+  Batch out = CombineBatches(handle->schema, handle->batches);
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.GetRow(0)[0].int64_value(), 0);
+  EXPECT_TRUE(out.GetRow(0)[1].is_null());
+}
+
+TEST_F(ExecTest, GroupedAggregateOnEmptyInputYieldsNoRows) {
+  auto stats = Run(Sales()
+                       .Filter(Gt(Col("amount"), Lit(1e9)))
+                       .Aggregate({"region"}, {{AggFunc::kCount, nullptr,
+                                                "n"}})
+                       .Build());
+  EXPECT_EQ(stats.output_rows, 0);
+}
+
+TEST_F(ExecTest, SortOrdersRows) {
+  auto handle = RunToStream(
+      Sales().Sort({{"amount", false}}).Output("sorted").Build(), "sorted");
+  Batch out = CombineBatches(handle->schema, handle->batches);
+  int amount_idx = out.schema().FieldIndex("amount");
+  double prev = 1e18;
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    double v = out.GetRow(r)[static_cast<size_t>(amount_idx)].double_value();
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(ExecTest, ExchangePreservesMultiset) {
+  auto handle = RunToStream(Sales()
+                                .Exchange(Partitioning::Hash({"region"}, 4))
+                                .Output("exch")
+                                .Build(),
+                            "exch");
+  Batch out = CombineBatches(handle->schema, handle->batches);
+  EXPECT_EQ(out.num_rows(), 5u);
+  std::multiset<double> amounts;
+  int idx = out.schema().FieldIndex("amount");
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    amounts.insert(out.GetRow(r)[static_cast<size_t>(idx)].double_value());
+  }
+  EXPECT_EQ(amounts, (std::multiset<double>{10, 20, 30, 40, 50}));
+}
+
+TEST_F(ExecTest, PartitionBatchHashIsDeterministicAndComplete) {
+  auto handle = *storage_.OpenStream("sales");
+  Batch data = CombineBatches(handle->schema, handle->batches);
+  auto parts = PartitionBatch(data, Partitioning::Hash({"region"}, 3));
+  ASSERT_TRUE(parts.ok());
+  size_t total = 0;
+  for (const auto& p : *parts) total += p.num_rows();
+  EXPECT_EQ(total, 5u);
+  // Same region always lands in the same partition.
+  auto parts2 = PartitionBatch(data, Partitioning::Hash({"region"}, 3));
+  for (size_t i = 0; i < parts->size(); ++i) {
+    EXPECT_EQ((*parts)[i].num_rows(), (*parts2)[i].num_rows());
+  }
+}
+
+TEST_F(ExecTest, UnionAllConcatenates) {
+  auto stats =
+      Run(Sales().UnionAll(Sales()).Build());
+  EXPECT_EQ(stats.output_rows, 10);
+}
+
+TEST_F(ExecTest, TopLimitsRows) {
+  EXPECT_EQ(Run(Sales().Top(3).Build()).output_rows, 3);
+  EXPECT_EQ(Run(Sales().Top(100).Build()).output_rows, 5);
+}
+
+TEST_F(ExecTest, ProcessAppliesRegisteredUdo) {
+  auto stats = Run(Sales()
+                       .Process("identity", "userlib", "1.0", sales_schema_)
+                       .Build());
+  EXPECT_EQ(stats.output_rows, 5);
+}
+
+TEST_F(ExecTest, ProcessUnknownProcessorFails) {
+  auto plan =
+      Sales().Process("missing_udo", "lib", "1.0", sales_schema_).Build();
+  ASSERT_TRUE(plan->Bind().ok());
+  AssignNodeIds(plan.get());
+  ExecContext ctx;
+  ctx.storage = &storage_;
+  Executor exec(ctx);
+  EXPECT_TRUE(exec.Execute(plan).status().IsNotFound());
+}
+
+TEST_F(ExecTest, SpoolWritesViewAndPassesThrough) {
+  auto base = Sales().Filter(Gt(Col("amount"), Lit(15.0))).Build();
+  ASSERT_TRUE(base->Bind().ok());
+  auto sigs = ComputeSignatures(*base);
+  std::string path = EncodeViewPath(sigs.normalized, sigs.precise, 42);
+  PhysicalProperties design{Partitioning::Hash({"region"}, 2),
+                            {{{"amount", true}}}};
+  auto plan = PlanBuilder::From(std::make_shared<SpoolNode>(
+                  base, path, sigs.normalized, sigs.precise, design))
+                  .Aggregate({}, {{AggFunc::kCount, nullptr, "n"}})
+                  .Output("spool_job_out")
+                  .Build();
+
+  bool published = false;
+  ExecContext ctx;
+  ctx.view_expiry = 12345;
+  ctx.on_view_materialized = [&](const SpoolNode& node,
+                                 const StreamData& view) {
+    published = true;
+    EXPECT_EQ(node.view_path(), path);
+    EXPECT_EQ(view.name, path);
+  };
+  Run(plan, ctx);
+  EXPECT_TRUE(published);
+
+  auto view = storage_.OpenStream(path);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->total_rows, 4);
+  EXPECT_EQ((*view)->expires_at, 12345);
+  EXPECT_EQ((*view)->batches.size(), 2u);  // two hash partitions
+  // Each partition is sorted by amount per the design.
+  for (const auto& p : (*view)->batches) {
+    double prev = -1;
+    int idx = p.schema().FieldIndex("amount");
+    for (size_t r = 0; r < p.num_rows(); ++r) {
+      double v = p.GetRow(r)[static_cast<size_t>(idx)].double_value();
+      EXPECT_GE(v, prev);
+      prev = v;
+    }
+  }
+
+  // The enclosing job still sees all 4 rows (pass-through).
+  auto out = storage_.OpenStream("spool_job_out");
+  ASSERT_TRUE(out.ok());
+  Batch ob = CombineBatches((*out)->schema, (*out)->batches);
+  EXPECT_EQ(ob.GetRow(0)[0].int64_value(), 4);
+}
+
+TEST_F(ExecTest, ViewReadConsumesMaterializedView) {
+  // Materialize manually, then read through a ViewReadNode.
+  auto base = Sales().Filter(Gt(Col("amount"), Lit(15.0))).Build();
+  ASSERT_TRUE(base->Bind().ok());
+  auto sigs = ComputeSignatures(*base);
+  std::string path = EncodeViewPath(sigs.normalized, sigs.precise, 1);
+  auto spool_plan = std::make_shared<SpoolNode>(base, path, sigs.normalized,
+                                                sigs.precise,
+                                                PhysicalProperties{});
+  Run(PlanBuilder::From(spool_plan).Build());
+
+  auto view_read = std::make_shared<ViewReadNode>(
+      path, sigs.normalized, sigs.precise, base->output_schema(),
+      PhysicalProperties{}, 4, 100);
+  auto stats = Run(PlanBuilder::From(view_read)
+                       .Aggregate({"region"}, {{AggFunc::kCount, nullptr,
+                                                "n"}})
+                       .Build());
+  EXPECT_EQ(stats.output_rows, 3);  // east, north, west survive the filter
+}
+
+TEST_F(ExecTest, StatsCoverEveryOperator) {
+  auto plan = Sales()
+                  .Filter(Gt(Col("qty"), Lit(int64_t{1})))
+                  .Aggregate({"region"}, {{AggFunc::kCount, nullptr, "n"}})
+                  .Output("stats_out")
+                  .Build();
+  ASSERT_TRUE(plan->Bind().ok());
+  int n = AssignNodeIds(plan.get());
+  ExecContext ctx;
+  ctx.storage = &storage_;
+  Executor exec(ctx);
+  auto stats = *exec.Execute(plan);
+  EXPECT_EQ(stats.operators.size(), static_cast<size_t>(n));
+  // Inclusive time of the root covers children.
+  const auto& root = stats.operators.at(0);
+  for (const auto& [id, op] : stats.operators) {
+    EXPECT_GE(root.inclusive_seconds, op.exclusive_seconds);
+    EXPECT_GE(op.inclusive_seconds, op.exclusive_seconds);
+  }
+  EXPECT_GT(stats.cpu_seconds, 0);
+  EXPECT_GE(stats.latency_seconds, root.inclusive_seconds);
+}
+
+TEST_F(ExecTest, ReduceAppliesProcessorPerGroup) {
+  // first_of_group under REDUCE = dedup by key; input must arrive sorted.
+  auto sorted = Sales().Sort({{"region", true}}).Build();
+  auto reduce = std::make_shared<ReduceNode>(
+      sorted, std::vector<std::string>{"region"}, "first_of_group",
+      "dedup", "1.0", Schema());
+  auto stats = Run(PlanBuilder::From(reduce).Build());
+  EXPECT_EQ(stats.output_rows, 3);  // east, north, west
+}
+
+TEST_F(ExecTest, ReduceMatchesDistinctAggregate) {
+  auto make_reduce = [&] {
+    auto sorted = Sales().Sort({{"product", true}}).Build();
+    auto reduce = std::make_shared<ReduceNode>(
+        sorted, std::vector<std::string>{"product"}, "first_of_group",
+        "dedup", "1.0", Schema());
+    return Run(PlanBuilder::From(reduce).Build()).output_rows;
+  };
+  auto agg_rows = Run(Sales()
+                          .Aggregate({"product"},
+                                     {{AggFunc::kCount, nullptr, "n"}})
+                          .Build())
+                      .output_rows;
+  EXPECT_EQ(make_reduce(), agg_rows);
+}
+
+TEST_F(ExecTest, OutputRecordsDeliveredLayout) {
+  auto handle = RunToStream(Sales()
+                                .Exchange(Partitioning::Hash({"region"}, 4))
+                                .Sort({{"amount", true}})
+                                .Output("laid_out")
+                                .Build(),
+                            "laid_out");
+  EXPECT_EQ(handle->props.partitioning.scheme, PartitionScheme::kHash);
+  EXPECT_TRUE(handle->props.sort_order.IsSorted());
+}
+
+TEST_F(ExecTest, UnboundPlanRejected) {
+  auto plan = Sales().Build();
+  ExecContext ctx;
+  ctx.storage = &storage_;
+  Executor exec(ctx);
+  EXPECT_TRUE(exec.Execute(plan).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "metadata/metadata_service.h"
+
+namespace cloudviews {
+namespace {
+
+Hash128 H(uint64_t a, uint64_t b = 0) { return Hash128{a, b}; }
+
+AnnotatedComputation Comp(uint64_t sig, std::vector<std::string> tags) {
+  AnnotatedComputation comp;
+  comp.annotation.normalized_signature = H(sig);
+  comp.annotation.frequency = 3;
+  comp.annotation.avg_runtime_seconds = 10;
+  comp.tags = std::move(tags);
+  return comp;
+}
+
+class MetadataTest : public ::testing::Test {
+ protected:
+  MetadataTest() : storage_(&clock_), service_(&clock_, &storage_) {}
+
+  SimulatedClock clock_;
+  StorageManager storage_;
+  MetadataService service_;
+};
+
+TEST_F(MetadataTest, InvertedIndexReturnsRelevantAnnotations) {
+  service_.LoadAnalysis({Comp(1, {"template:a", "vc:v1"}),
+                         Comp(2, {"template:b", "vc:v1"}),
+                         Comp(3, {"template:c", "vc:v2"})});
+  EXPECT_EQ(service_.NumAnnotations(), 3u);
+
+  auto hits = service_.GetRelevantViews({"template:a"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].normalized_signature, H(1));
+
+  // vc:v1 matches two computations (false positives are fine, Sec 6.1).
+  EXPECT_EQ(service_.GetRelevantViews({"vc:v1"}).size(), 2u);
+  EXPECT_EQ(service_.GetRelevantViews({"vc:nope"}).size(), 0u);
+  // Multiple tags union their hits.
+  EXPECT_EQ(service_.GetRelevantViews({"template:a", "vc:v2"}).size(), 2u);
+}
+
+TEST_F(MetadataTest, ReloadReplacesAnalysis) {
+  service_.LoadAnalysis({Comp(1, {"t:a"})});
+  service_.LoadAnalysis({Comp(2, {"t:b"})});
+  EXPECT_EQ(service_.NumAnnotations(), 1u);
+  EXPECT_EQ(service_.GetRelevantViews({"t:a"}).size(), 0u);
+  EXPECT_EQ(service_.GetRelevantViews({"t:b"}).size(), 1u);
+}
+
+TEST_F(MetadataTest, LockLifecycle) {
+  // Grant, deny while held, register releases.
+  EXPECT_TRUE(service_.ProposeMaterialize(H(1), H(10), 100, 10));
+  EXPECT_FALSE(service_.ProposeMaterialize(H(1), H(10), 101, 10));
+
+  MaterializedViewInfo info;
+  info.path = "/views/a/b_100.ss";
+  info.normalized_signature = H(1);
+  info.precise_signature = H(10);
+  info.producer_job_id = 100;
+  service_.ReportMaterialized(info, 0);
+
+  // Now the view exists: propose fails, find succeeds.
+  EXPECT_FALSE(service_.ProposeMaterialize(H(1), H(10), 102, 10));
+  auto found = service_.FindMaterialized(H(1), H(10));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->producer_job_id, 100u);
+
+  // A different precise instance is a different view.
+  EXPECT_FALSE(service_.FindMaterialized(H(1), H(11)).has_value());
+  EXPECT_TRUE(service_.ProposeMaterialize(H(1), H(11), 103, 10));
+}
+
+TEST_F(MetadataTest, LockExpiresAndAnotherJobRetries) {
+  // Expected build 10s -> lock expiry = max(60, 2*10) = 60s.
+  EXPECT_TRUE(service_.ProposeMaterialize(H(1), H(10), 100, 10));
+  clock_.AdvanceSeconds(30);
+  EXPECT_FALSE(service_.ProposeMaterialize(H(1), H(10), 101, 10));
+  clock_.AdvanceSeconds(31);
+  EXPECT_TRUE(service_.ProposeMaterialize(H(1), H(10), 101, 10));
+}
+
+TEST_F(MetadataTest, LongBuildsGetLongerLocks) {
+  EXPECT_TRUE(service_.ProposeMaterialize(H(1), H(10), 100, 1000));
+  clock_.AdvanceSeconds(1500);  // < 2 * 1000
+  EXPECT_FALSE(service_.ProposeMaterialize(H(1), H(10), 101, 1000));
+  clock_.AdvanceSeconds(501);
+  EXPECT_TRUE(service_.ProposeMaterialize(H(1), H(10), 101, 1000));
+}
+
+TEST_F(MetadataTest, AbandonLockReleasesOnlyOwners) {
+  EXPECT_TRUE(service_.ProposeMaterialize(H(1), H(10), 100, 10));
+  service_.AbandonLock(H(10), 999);  // not the owner
+  EXPECT_FALSE(service_.ProposeMaterialize(H(1), H(10), 101, 10));
+  service_.AbandonLock(H(10), 100);
+  EXPECT_TRUE(service_.ProposeMaterialize(H(1), H(10), 101, 10));
+}
+
+TEST_F(MetadataTest, FindHonorsExpiry) {
+  MaterializedViewInfo info;
+  info.path = "/views/a/b_1.ss";
+  info.normalized_signature = H(1);
+  info.precise_signature = H(10);
+  service_.ReportMaterialized(info, clock_.Now() + 100);
+  EXPECT_TRUE(service_.FindMaterialized(H(1), H(10)).has_value());
+  clock_.AdvanceSeconds(101);
+  EXPECT_FALSE(service_.FindMaterialized(H(1), H(10)).has_value());
+}
+
+TEST_F(MetadataTest, PurgeRemovesMetadataThenFiles) {
+  Schema s({{"v", DataType::kInt64}});
+  ASSERT_TRUE(storage_
+                  .WriteStream(MakeStreamData("/views/a/b_1.ss", "g", s, {},
+                                              clock_.Now()))
+                  .ok());
+  MaterializedViewInfo info;
+  info.path = "/views/a/b_1.ss";
+  info.normalized_signature = H(1);
+  info.precise_signature = H(10);
+  service_.ReportMaterialized(info, clock_.Now() + 50);
+  EXPECT_EQ(service_.PurgeExpired(), 0u);
+  clock_.AdvanceSeconds(51);
+  EXPECT_EQ(service_.PurgeExpired(), 1u);
+  EXPECT_EQ(service_.NumRegisteredViews(), 0u);
+  EXPECT_FALSE(storage_.StreamExists("/views/a/b_1.ss"));
+  EXPECT_EQ(service_.counters().views_purged, 1u);
+}
+
+TEST_F(MetadataTest, DropViewDeletesFile) {
+  Schema s({{"v", DataType::kInt64}});
+  ASSERT_TRUE(storage_
+                  .WriteStream(MakeStreamData("/views/a/b_1.ss", "g", s, {},
+                                              clock_.Now()))
+                  .ok());
+  MaterializedViewInfo info;
+  info.path = "/views/a/b_1.ss";
+  info.normalized_signature = H(1);
+  info.precise_signature = H(10);
+  service_.ReportMaterialized(info, 0);
+  ASSERT_TRUE(service_.DropView(H(10)).ok());
+  EXPECT_FALSE(storage_.StreamExists("/views/a/b_1.ss"));
+  EXPECT_TRUE(service_.DropView(H(10)).IsNotFound());
+}
+
+TEST_F(MetadataTest, CountersTrackActivity) {
+  service_.LoadAnalysis({Comp(1, {"t:a"})});
+  service_.GetRelevantViews({"t:a"});
+  service_.ProposeMaterialize(H(1), H(10), 1, 10);
+  service_.ProposeMaterialize(H(1), H(10), 2, 10);
+  auto c = service_.counters();
+  EXPECT_EQ(c.lookups, 1u);
+  EXPECT_EQ(c.proposals, 2u);
+  EXPECT_EQ(c.locks_granted, 1u);
+  EXPECT_EQ(c.locks_denied, 1u);
+}
+
+TEST(MetadataLatencyTest, ThreadsReduceSimulatedLatency) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  MetadataServiceConfig config;
+  config.base_lookup_latency_seconds = 0.019;
+  config.service_threads = 1;
+  MetadataService single(&clock, &storage, config);
+  config.service_threads = 5;
+  MetadataService five(&clock, &storage, config);
+  EXPECT_NEAR(single.SimulatedLookupLatency(), 0.019, 1e-6);
+  EXPECT_NEAR(five.SimulatedLookupLatency(), 0.0143, 0.001);
+  EXPECT_LT(five.SimulatedLookupLatency(), single.SimulatedLookupLatency());
+}
+
+TEST_F(MetadataTest, ConcurrentProposalsGrantExactlyOne) {
+  for (int round = 0; round < 10; ++round) {
+    Hash128 precise = H(1000 + static_cast<uint64_t>(round));
+    std::atomic<int> granted{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        if (service_.ProposeMaterialize(H(1), precise,
+                                        static_cast<uint64_t>(t), 10)) {
+          ++granted;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(granted.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace cloudviews

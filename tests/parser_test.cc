@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "signature/signature.h"
+
+namespace cloudviews {
+namespace {
+
+const char* kScript = R"(
+-- A typical recurring script template.
+clicks = EXTRACT user:int, page:string, latency:int, when:date
+         FROM "clicks_{date}";
+recent = SELECT user, page, latency FROM clicks
+         WHERE when >= @date AND latency > 10;
+agg    = SELECT page, COUNT(*) AS n, AVG(latency) AS avg_latency
+         FROM recent GROUP BY page;
+OUTPUT agg TO "page_stats_{date}";
+)";
+
+ParamMap DayParams(const std::string& iso) {
+  ParamMap params;
+  params["date"] = DateParam(iso);
+  return params;
+}
+
+Result<PlanNodePtr> ParseDay(const std::string& script,
+                             const std::string& iso) {
+  ScopeScriptParser parser;
+  return parser.Parse(script, DayParams(iso), [](const std::string& name) {
+    return "guid-of-" + name;
+  });
+}
+
+TEST(ParserTest, FullScriptParsesAndBinds) {
+  auto plan = ParseDay(kScript, "2018-01-01");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE((*plan)->Bind().ok());
+  EXPECT_EQ((*plan)->kind(), OpKind::kOutput);
+  EXPECT_EQ(static_cast<OutputNode*>(plan->get())->stream_name(),
+            "page_stats_2018-01-01");
+  EXPECT_EQ((*plan)->output_schema().ToString(),
+            "page:string, n:int64, avg_latency:double");
+}
+
+TEST(ParserTest, TemplateInterpolationAndGuids) {
+  auto plan = ParseDay(kScript, "2018-02-03");
+  ASSERT_TRUE(plan.ok());
+  std::vector<PlanNode*> nodes;
+  CollectNodes(*plan, &nodes);
+  bool found = false;
+  for (PlanNode* n : nodes) {
+    if (n->kind() == OpKind::kExtract) {
+      auto* e = static_cast<ExtractNode*>(n);
+      EXPECT_EQ(e->template_name(), "clicks_{date}");
+      EXPECT_EQ(e->stream_name(), "clicks_2018-02-03");
+      EXPECT_EQ(e->guid(), "guid-of-clicks_2018-02-03");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ParserTest, RecurringInstancesShareNormalizedSignature) {
+  auto day1 = ParseDay(kScript, "2018-01-01");
+  auto day2 = ParseDay(kScript, "2018-01-02");
+  ASSERT_TRUE(day1.ok());
+  ASSERT_TRUE(day2.ok());
+  ASSERT_TRUE((*day1)->Bind().ok());
+  ASSERT_TRUE((*day2)->Bind().ok());
+  EXPECT_EQ((*day1)->SubtreeHash(SignatureMode::kNormalized),
+            (*day2)->SubtreeHash(SignatureMode::kNormalized));
+  EXPECT_NE((*day1)->SubtreeHash(SignatureMode::kPrecise),
+            (*day2)->SubtreeHash(SignatureMode::kPrecise));
+}
+
+TEST(ParserTest, JoinAndLeftJoin) {
+  const char* script = R"(
+a = EXTRACT k:int, v:string FROM "a";
+b = EXTRACT k2:int, w:string FROM "b";
+j = SELECT v, w AS w2 FROM a JOIN b ON k == k2;
+OUTPUT j TO "out";
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE((*plan)->Bind().ok());
+
+  const char* left = R"(
+a = EXTRACT k:int, v:string FROM "a";
+b = EXTRACT k2:int, w:string FROM "b";
+j = SELECT v, w AS w2 FROM a LEFT JOIN b ON k == k2;
+OUTPUT j TO "out";
+)";
+  auto lplan = parser.Parse(left, {});
+  ASSERT_TRUE(lplan.ok());
+  std::vector<PlanNode*> nodes;
+  CollectNodes(*lplan, &nodes);
+  bool saw_left = false;
+  for (PlanNode* n : nodes) {
+    if (n->kind() == OpKind::kJoin) {
+      saw_left |= static_cast<JoinNode*>(n)->join_type() ==
+                  JoinType::kLeftOuter;
+    }
+  }
+  EXPECT_TRUE(saw_left);
+}
+
+TEST(ParserTest, MultiKeyJoin) {
+  const char* script = R"(
+a = EXTRACT k:int, d:date, v:int FROM "a";
+b = EXTRACT k2:int, d2:date, w:int FROM "b";
+j = SELECT v, w AS w2 FROM a JOIN b ON k == k2 AND d == d2;
+OUTPUT j TO "out";
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok());
+  std::vector<PlanNode*> nodes;
+  CollectNodes(*plan, &nodes);
+  for (PlanNode* n : nodes) {
+    if (n->kind() == OpKind::kJoin) {
+      EXPECT_EQ(static_cast<JoinNode*>(n)->keys().size(), 2u);
+    }
+  }
+}
+
+TEST(ParserTest, OrderByTopAndStar) {
+  const char* script = R"(
+a = EXTRACT k:int, v:int FROM "a";
+s = SELECT * FROM a WHERE v > 0 ORDER BY v DESC, k TOP 5;
+OUTPUT s TO "out";
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE((*plan)->Bind().ok());
+  // Output -> Top -> Sort -> Filter -> Extract.
+  EXPECT_EQ((*plan)->child()->kind(), OpKind::kTop);
+  EXPECT_EQ((*plan)->child()->child()->kind(), OpKind::kSort);
+  auto* sort = static_cast<SortNode*>((*plan)->child()->child().get());
+  ASSERT_EQ(sort->keys().size(), 2u);
+  EXPECT_FALSE(sort->keys()[0].ascending);
+  EXPECT_TRUE(sort->keys()[1].ascending);
+}
+
+TEST(ParserTest, ProcessWithAndWithoutProduce) {
+  const char* script = R"(
+a = EXTRACT k:int, v:string FROM "a";
+p = PROCESS a USING cleanse("datalib", "2.1");
+q = PROCESS p USING identity("datalib", "2.1") PRODUCE k:int, v:string;
+OUTPUT q TO "out";
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE((*plan)->Bind().ok());
+  std::vector<PlanNode*> nodes;
+  CollectNodes(*plan, &nodes);
+  int processes = 0;
+  for (PlanNode* n : nodes) {
+    if (n->kind() == OpKind::kProcess) {
+      ++processes;
+      auto* p = static_cast<ProcessNode*>(n);
+      EXPECT_EQ(p->library(), "datalib");
+      EXPECT_EQ(p->version(), "2.1");
+    }
+  }
+  EXPECT_EQ(processes, 2);
+}
+
+TEST(ParserTest, UnionAll) {
+  const char* script = R"(
+a = EXTRACT k:int FROM "a";
+b = EXTRACT k:int FROM "b";
+u = a UNION ALL b;
+OUTPUT u TO "out";
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->child()->kind(), OpKind::kUnionAll);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  const char* script = R"(
+a = EXTRACT x:int, y:int FROM "a";
+s = SELECT x + y * 2 AS z FROM a WHERE x > 1 AND y < 2 OR x == 0;
+OUTPUT s TO "out";
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<PlanNode*> nodes;
+  CollectNodes(*plan, &nodes);
+  for (PlanNode* n : nodes) {
+    if (n->kind() == OpKind::kProject) {
+      auto* p = static_cast<ProjectNode*>(n);
+      EXPECT_EQ(p->exprs()[0].expr->ToString(), "(x + (y * 2))");
+    }
+    if (n->kind() == OpKind::kFilter) {
+      auto* f = static_cast<FilterNode*>(n);
+      EXPECT_EQ(f->predicate()->ToString(),
+                "(((x > 1) AND (y < 2)) OR (x == 0))");
+    }
+  }
+}
+
+TEST(ParserTest, DateLiteralAndFunctions) {
+  const char* script = R"(
+a = EXTRACT d:date, s:string FROM "a";
+f = SELECT lower(s) AS ls, year(d) AS y FROM a
+    WHERE d >= date("2018-01-01");
+OUTPUT f TO "out";
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE((*plan)->Bind().ok());
+  EXPECT_EQ((*plan)->output_schema().ToString(), "ls:string, y:int64");
+}
+
+// --- Error cases ----------------------------------------------------------------
+
+TEST(ParserErrorTest, UnknownDataset) {
+  ScopeScriptParser parser;
+  auto r = parser.Parse("OUTPUT nope TO \"x\";", {});
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(ParserErrorTest, MissingOutput) {
+  ScopeScriptParser parser;
+  auto r = parser.Parse("a = EXTRACT k:int FROM \"a\";", {});
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(ParserErrorTest, TwoOutputs) {
+  ScopeScriptParser parser;
+  auto r = parser.Parse(R"(
+a = EXTRACT k:int FROM "a";
+OUTPUT a TO "x";
+OUTPUT a TO "y";
+)",
+                        {});
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(ParserErrorTest, UnboundParameter) {
+  ScopeScriptParser parser;
+  auto by_hole = parser.Parse(
+      "a = EXTRACT k:int FROM \"s_{date}\"; OUTPUT a TO \"x\";", {});
+  EXPECT_TRUE(by_hole.status().IsParseError());
+  auto by_at = parser.Parse(R"(
+a = EXTRACT k:int FROM "s";
+f = SELECT k FROM a WHERE k > @threshold;
+OUTPUT f TO "x";
+)",
+                            {});
+  EXPECT_TRUE(by_at.status().IsParseError());
+}
+
+TEST(ParserErrorTest, NonGroupedColumnRejected) {
+  ScopeScriptParser parser;
+  auto r = parser.Parse(R"(
+a = EXTRACT k:int, v:int FROM "a";
+g = SELECT v, COUNT(*) AS n FROM a GROUP BY k;
+OUTPUT g TO "x";
+)",
+                        {});
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(ParserErrorTest, MalformedSyntax) {
+  ScopeScriptParser parser;
+  EXPECT_TRUE(parser.Parse("a = EXTRACT k:int FROM ;", {})
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(parser.Parse("a == b;", {}).status().IsParseError());
+  EXPECT_TRUE(parser.Parse("a = EXTRACT k:blob FROM \"s\";", {})
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(
+      parser.Parse("a = EXTRACT k:int FROM \"unterminated;", {})
+          .status()
+          .IsParseError());
+}
+
+TEST(ParserTest, ReduceStatement) {
+  const char* script = R"(
+a = EXTRACT k:int, v:string FROM "a";
+r = REDUCE a ON k USING first_of_group("dedup", "1.0");
+OUTPUT r TO "out";
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE((*plan)->Bind().ok());
+  auto* reduce = static_cast<ReduceNode*>((*plan)->child().get());
+  ASSERT_EQ(reduce->kind(), OpKind::kReduce);
+  EXPECT_EQ(reduce->keys(), std::vector<std::string>{"k"});
+  EXPECT_EQ(reduce->library(), "dedup");
+  // Groups must arrive co-located and sorted.
+  auto req = reduce->RequiredFromChild(0);
+  EXPECT_TRUE(req.partitioning == Partitioning::Hash({"k"}, 0));
+  EXPECT_TRUE(req.sort_order.IsSorted());
+}
+
+TEST(ParserTest, OutputClusteredSortedBy) {
+  const char* script = R"(
+a = EXTRACT k:int, v:int, s:string FROM "a";
+OUTPUT a TO "out" CLUSTERED BY k, s INTO 8 SORTED BY v DESC, k;
+)";
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(script, {});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE((*plan)->Bind().ok());
+  auto* output = static_cast<OutputNode*>(plan->get());
+  const PhysicalProperties& design = output->declared_design();
+  EXPECT_EQ(design.partitioning.scheme, PartitionScheme::kHash);
+  EXPECT_EQ(design.partitioning.partition_count, 8);
+  ASSERT_EQ(design.partitioning.columns.size(), 2u);
+  ASSERT_EQ(design.sort_order.keys.size(), 2u);
+  EXPECT_FALSE(design.sort_order.keys[0].ascending);
+  // The requirement flows to the child for enforcer insertion.
+  EXPECT_TRUE(output->RequiredFromChild(0) == design);
+}
+
+TEST(ParserErrorTest, OutputDesignValidatesColumns) {
+  ScopeScriptParser parser;
+  auto plan = parser.Parse(R"(
+a = EXTRACT k:int FROM "a";
+OUTPUT a TO "out" CLUSTERED BY nope;
+)",
+                           {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->Bind().IsInvalidArgument());
+}
+
+TEST(ParserErrorTest, ReduceWithoutKeysFails) {
+  ScopeScriptParser parser;
+  auto r = parser.Parse(R"(
+a = EXTRACT k:int FROM "a";
+r = REDUCE a USING first_of_group("d", "1");
+OUTPUT r TO "out";
+)",
+                        {});
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(ParserErrorTest, UnknownFunction) {
+  ScopeScriptParser parser;
+  auto r = parser.Parse(R"(
+a = EXTRACT k:int FROM "a";
+f = SELECT frobnicate(k) AS x FROM a;
+OUTPUT f TO "x";
+)",
+                        {});
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/storage_manager.h"
+
+namespace cloudviews {
+namespace {
+
+Schema SimpleSchema() { return Schema({{"v", DataType::kInt64}}); }
+
+Batch SimpleBatch(int n) {
+  Batch b(SimpleSchema());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(b.AppendRow({Value::Int64(i)}).ok());
+  }
+  return b;
+}
+
+TEST(ViewPathTest, EncodeParseRoundTrip) {
+  Hash128 norm{0x1111, 0x2222}, precise{0x3333, 0x4444};
+  std::string path = EncodeViewPath(norm, precise, 777);
+  Hash128 n2, p2;
+  uint64_t job = 0;
+  ASSERT_TRUE(ParseViewPath(path, &n2, &p2, &job));
+  EXPECT_EQ(n2, norm);
+  EXPECT_EQ(p2, precise);
+  EXPECT_EQ(job, 777u);
+}
+
+TEST(ViewPathTest, RejectsNonViewPaths) {
+  Hash128 n, p;
+  uint64_t job;
+  EXPECT_FALSE(ParseViewPath("/data/foo.ss", &n, &p, &job));
+  EXPECT_FALSE(ParseViewPath("/views/zz/bad", &n, &p, &job));
+}
+
+TEST(StorageTest, WriteOpenDelete) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  ASSERT_TRUE(storage
+                  .WriteStream(MakeStreamData("s1", "g1", SimpleSchema(),
+                                              {SimpleBatch(10)}, clock.Now()))
+                  .ok());
+  ASSERT_TRUE(storage.StreamExists("s1"));
+  auto handle = storage.OpenStream("s1");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*handle)->total_rows, 10);
+  EXPECT_EQ((*handle)->guid, "g1");
+  ASSERT_TRUE(storage.DeleteStream("s1").ok());
+  EXPECT_FALSE(storage.StreamExists("s1"));
+  EXPECT_TRUE(storage.OpenStream("s1").status().IsNotFound());
+  EXPECT_TRUE(storage.DeleteStream("s1").IsNotFound());
+}
+
+TEST(StorageTest, EmptyNameRejected) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  EXPECT_TRUE(storage
+                  .WriteStream(MakeStreamData("", "g", SimpleSchema(), {},
+                                              clock.Now()))
+                  .IsInvalidArgument());
+}
+
+TEST(StorageTest, ReplaceInstallsNewVersion) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  ASSERT_TRUE(storage
+                  .WriteStream(MakeStreamData("s", "g1", SimpleSchema(),
+                                              {SimpleBatch(1)}, clock.Now()))
+                  .ok());
+  // An old reader holds the first version; a rewrite must not disturb it.
+  auto old_handle = *storage.OpenStream("s");
+  ASSERT_TRUE(storage
+                  .WriteStream(MakeStreamData("s", "g2", SimpleSchema(),
+                                              {SimpleBatch(5)}, clock.Now()))
+                  .ok());
+  EXPECT_EQ(old_handle->guid, "g1");
+  EXPECT_EQ((*storage.OpenStream("s"))->guid, "g2");
+  EXPECT_EQ((*storage.OpenStream("s"))->total_rows, 5);
+}
+
+TEST(StorageTest, PurgeExpiredHonorsClock) {
+  SimulatedClock clock(1000);
+  StorageManager storage(&clock);
+  ASSERT_TRUE(storage
+                  .WriteStream(MakeStreamData("keeps", "g", SimpleSchema(),
+                                              {SimpleBatch(1)}, clock.Now(),
+                                              /*expires_at=*/0))
+                  .ok());
+  ASSERT_TRUE(storage
+                  .WriteStream(MakeStreamData("hourly", "g", SimpleSchema(),
+                                              {SimpleBatch(1)}, clock.Now(),
+                                              clock.Now() + kSecondsPerHour))
+                  .ok());
+  ASSERT_TRUE(storage
+                  .WriteStream(MakeStreamData("weekly", "g", SimpleSchema(),
+                                              {SimpleBatch(1)}, clock.Now(),
+                                              clock.Now() + kSecondsPerWeek))
+                  .ok());
+  EXPECT_EQ(storage.PurgeExpired(), 0u);
+  clock.AdvanceSeconds(kSecondsPerDay);
+  EXPECT_EQ(storage.PurgeExpired(), 1u);  // hourly gone
+  EXPECT_TRUE(storage.StreamExists("weekly"));
+  clock.AdvanceSeconds(kSecondsPerWeek);
+  EXPECT_EQ(storage.PurgeExpired(), 1u);  // weekly gone
+  EXPECT_TRUE(storage.StreamExists("keeps"));
+}
+
+TEST(StorageTest, ListByPrefixAndTotals) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  for (const char* name : {"/views/a", "/views/b", "/data/c"}) {
+    ASSERT_TRUE(storage
+                    .WriteStream(MakeStreamData(name, "g", SimpleSchema(),
+                                                {SimpleBatch(3)},
+                                                clock.Now()))
+                    .ok());
+  }
+  EXPECT_EQ(storage.ListStreams("/views/").size(), 2u);
+  EXPECT_EQ(storage.ListStreams().size(), 3u);
+  EXPECT_EQ(storage.NumStreams(), 3u);
+  EXPECT_GT(storage.TotalBytes(), 0);
+}
+
+TEST(StorageTest, ConcurrentWritersAndReaders) {
+  SimulatedClock clock;
+  StorageManager storage(&clock);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&storage, &clock, t] {
+      for (int i = 0; i < 50; ++i) {
+        std::string name = "s" + std::to_string(t) + "_" + std::to_string(i);
+        ASSERT_TRUE(storage
+                        .WriteStream(MakeStreamData(name, "g", SimpleSchema(),
+                                                    {SimpleBatch(2)},
+                                                    clock.Now()))
+                        .ok());
+        ASSERT_TRUE(storage.OpenStream(name).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(storage.NumStreams(), 200u);
+}
+
+}  // namespace
+}  // namespace cloudviews

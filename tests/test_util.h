@@ -1,0 +1,62 @@
+#ifndef CLOUDVIEWS_TESTS_TEST_UTIL_H_
+#define CLOUDVIEWS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "plan/plan_builder.h"
+#include "storage/storage_manager.h"
+
+namespace cloudviews {
+namespace testing_util {
+
+inline Schema ClickSchema() {
+  return Schema({{"user", DataType::kInt64},
+                 {"page", DataType::kString},
+                 {"latency", DataType::kInt64},
+                 {"when", DataType::kDate}});
+}
+
+/// Writes a synthetic click stream; deterministic in (seed, rows).
+inline void WriteClickStream(StorageManager* storage,
+                             const std::string& name, size_t rows,
+                             uint64_t seed, const std::string& date_iso,
+                             const std::string& guid = "") {
+  Rng rng(seed);
+  Batch b(ClickSchema());
+  int64_t day = 0;
+  ParseDate(date_iso, &day);
+  static const char* kPages[] = {"/home", "/search", "/cart", "/about",
+                                 "/checkout"};
+  for (size_t i = 0; i < rows; ++i) {
+    Status st = b.AppendRow(
+        {Value::Int64(static_cast<int64_t>(rng.Uniform(100))),
+         Value::String(kPages[rng.Uniform(5)]),
+         Value::Int64(static_cast<int64_t>(rng.Uniform(500))),
+         Value::Date(day)});
+    (void)st;
+  }
+  Status st = storage->WriteStream(
+      MakeStreamData(name, guid.empty() ? "guid-" + name : guid,
+                     ClickSchema(), {b}, storage->clock()->Now()));
+  (void)st;
+}
+
+/// The shared computation of the reuse tests: filter + aggregate over one
+/// day of clicks. `date` parameterizes the recurring instance.
+inline PlanNodePtr SharedAggPlan(const std::string& date,
+                                 const std::string& guid_suffix = "") {
+  return PlanBuilder::Extract("clicks_{date}", "clicks_" + date,
+                              "guid-clicks_" + date + guid_suffix,
+                              ClickSchema())
+      .Filter(Gt(Col("latency"), Lit(int64_t{50})))
+      .Aggregate({"page"}, {{AggFunc::kCount, nullptr, "n"},
+                            {AggFunc::kSum, Col("latency"), "total_latency"}})
+      .Build();
+}
+
+}  // namespace testing_util
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TESTS_TEST_UTIL_H_
