@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_physical_design.dir/ablation_physical_design.cc.o"
+  "CMakeFiles/ablation_physical_design.dir/ablation_physical_design.cc.o.d"
+  "ablation_physical_design"
+  "ablation_physical_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_physical_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

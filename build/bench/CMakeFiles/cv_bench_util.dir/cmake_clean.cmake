@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/cv_bench_util.dir/bench_util.cc.o.d"
+  "libcv_bench_util.a"
+  "libcv_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cluster_overlap.dir/fig01_cluster_overlap.cc.o"
+  "CMakeFiles/fig01_cluster_overlap.dir/fig01_cluster_overlap.cc.o.d"
+  "fig01_cluster_overlap"
+  "fig01_cluster_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cluster_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_vc_overlap.dir/fig02_vc_overlap.cc.o"
+  "CMakeFiles/fig02_vc_overlap.dir/fig02_vc_overlap.cc.o.d"
+  "fig02_vc_overlap"
+  "fig02_vc_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_vc_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

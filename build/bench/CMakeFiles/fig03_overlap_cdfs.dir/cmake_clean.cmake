@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_overlap_cdfs.dir/fig03_overlap_cdfs.cc.o"
+  "CMakeFiles/fig03_overlap_cdfs.dir/fig03_overlap_cdfs.cc.o.d"
+  "fig03_overlap_cdfs"
+  "fig03_overlap_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_overlap_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_operator_overlap.dir/fig04_operator_overlap.cc.o"
+  "CMakeFiles/fig04_operator_overlap.dir/fig04_operator_overlap.cc.o.d"
+  "fig04_operator_overlap"
+  "fig04_operator_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_operator_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

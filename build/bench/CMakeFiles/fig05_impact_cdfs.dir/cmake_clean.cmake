@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_impact_cdfs.dir/fig05_impact_cdfs.cc.o"
+  "CMakeFiles/fig05_impact_cdfs.dir/fig05_impact_cdfs.cc.o.d"
+  "fig05_impact_cdfs"
+  "fig05_impact_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_impact_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_production_cpu.dir/fig12_production_cpu.cc.o"
+  "CMakeFiles/fig12_production_cpu.dir/fig12_production_cpu.cc.o.d"
+  "fig12_production_cpu"
+  "fig12_production_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_production_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

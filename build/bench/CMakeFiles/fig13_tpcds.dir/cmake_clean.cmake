@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tpcds.dir/fig13_tpcds.cc.o"
+  "CMakeFiles/fig13_tpcds.dir/fig13_tpcds.cc.o.d"
+  "fig13_tpcds"
+  "fig13_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_report.dir/admin_report.cpp.o"
+  "CMakeFiles/admin_report.dir/admin_report.cpp.o.d"
+  "admin_report"
+  "admin_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

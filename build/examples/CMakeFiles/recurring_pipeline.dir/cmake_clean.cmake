@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurring_pipeline.dir/recurring_pipeline.cpp.o"
+  "CMakeFiles/recurring_pipeline.dir/recurring_pipeline.cpp.o.d"
+  "recurring_pipeline"
+  "recurring_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurring_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

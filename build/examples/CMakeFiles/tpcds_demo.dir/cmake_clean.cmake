@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_demo.dir/tpcds_demo.cpp.o"
+  "CMakeFiles/tpcds_demo.dir/tpcds_demo.cpp.o.d"
+  "tpcds_demo"
+  "tpcds_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

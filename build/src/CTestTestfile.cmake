@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("expr")
+subdirs("plan")
+subdirs("signature")
+subdirs("storage")
+subdirs("exec")
+subdirs("optimizer")
+subdirs("parser")
+subdirs("metadata")
+subdirs("runtime")
+subdirs("analyzer")
+subdirs("core")
+subdirs("workload")
+subdirs("tpcds")

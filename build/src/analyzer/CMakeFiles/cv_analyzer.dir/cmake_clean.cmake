@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_analyzer.dir/analyzer.cc.o"
+  "CMakeFiles/cv_analyzer.dir/analyzer.cc.o.d"
+  "CMakeFiles/cv_analyzer.dir/overlap_analyzer.cc.o"
+  "CMakeFiles/cv_analyzer.dir/overlap_analyzer.cc.o.d"
+  "CMakeFiles/cv_analyzer.dir/view_selection.cc.o"
+  "CMakeFiles/cv_analyzer.dir/view_selection.cc.o.d"
+  "libcv_analyzer.a"
+  "libcv_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_common.dir/guid.cc.o"
+  "CMakeFiles/cv_common.dir/guid.cc.o.d"
+  "CMakeFiles/cv_common.dir/hash.cc.o"
+  "CMakeFiles/cv_common.dir/hash.cc.o.d"
+  "CMakeFiles/cv_common.dir/random.cc.o"
+  "CMakeFiles/cv_common.dir/random.cc.o.d"
+  "CMakeFiles/cv_common.dir/stats.cc.o"
+  "CMakeFiles/cv_common.dir/stats.cc.o.d"
+  "CMakeFiles/cv_common.dir/status.cc.o"
+  "CMakeFiles/cv_common.dir/status.cc.o.d"
+  "CMakeFiles/cv_common.dir/string_util.cc.o"
+  "CMakeFiles/cv_common.dir/string_util.cc.o.d"
+  "CMakeFiles/cv_common.dir/table_printer.cc.o"
+  "CMakeFiles/cv_common.dir/table_printer.cc.o.d"
+  "libcv_common.a"
+  "libcv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_core.dir/cloudviews.cc.o"
+  "CMakeFiles/cv_core.dir/cloudviews.cc.o.d"
+  "CMakeFiles/cv_core.dir/explain.cc.o"
+  "CMakeFiles/cv_core.dir/explain.cc.o.d"
+  "libcv_core.a"
+  "libcv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/cv_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/cv_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/processor_registry.cc" "src/exec/CMakeFiles/cv_exec.dir/processor_registry.cc.o" "gcc" "src/exec/CMakeFiles/cv_exec.dir/processor_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/cv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/cv_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/cv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cv_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

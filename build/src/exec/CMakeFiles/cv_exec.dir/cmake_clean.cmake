@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_exec.dir/executor.cc.o"
+  "CMakeFiles/cv_exec.dir/executor.cc.o.d"
+  "CMakeFiles/cv_exec.dir/processor_registry.cc.o"
+  "CMakeFiles/cv_exec.dir/processor_registry.cc.o.d"
+  "libcv_exec.a"
+  "libcv_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

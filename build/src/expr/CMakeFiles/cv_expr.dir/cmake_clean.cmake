@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_expr.dir/aggregate.cc.o"
+  "CMakeFiles/cv_expr.dir/aggregate.cc.o.d"
+  "CMakeFiles/cv_expr.dir/expr.cc.o"
+  "CMakeFiles/cv_expr.dir/expr.cc.o.d"
+  "CMakeFiles/cv_expr.dir/function_registry.cc.o"
+  "CMakeFiles/cv_expr.dir/function_registry.cc.o.d"
+  "libcv_expr.a"
+  "libcv_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_metadata.dir/metadata_service.cc.o"
+  "CMakeFiles/cv_metadata.dir/metadata_service.cc.o.d"
+  "libcv_metadata.a"
+  "libcv_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

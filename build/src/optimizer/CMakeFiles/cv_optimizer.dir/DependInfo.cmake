@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cost_model.cc" "src/optimizer/CMakeFiles/cv_optimizer.dir/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/cv_optimizer.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/cv_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/cv_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/physical_planner.cc" "src/optimizer/CMakeFiles/cv_optimizer.dir/physical_planner.cc.o" "gcc" "src/optimizer/CMakeFiles/cv_optimizer.dir/physical_planner.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/optimizer/CMakeFiles/cv_optimizer.dir/rules.cc.o" "gcc" "src/optimizer/CMakeFiles/cv_optimizer.dir/rules.cc.o.d"
+  "/root/repo/src/optimizer/view_rewriter.cc" "src/optimizer/CMakeFiles/cv_optimizer.dir/view_rewriter.cc.o" "gcc" "src/optimizer/CMakeFiles/cv_optimizer.dir/view_rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signature/CMakeFiles/cv_signature.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/cv_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/cv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cv_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/cv_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/cv_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/cv_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/cv_optimizer.dir/physical_planner.cc.o"
+  "CMakeFiles/cv_optimizer.dir/physical_planner.cc.o.d"
+  "CMakeFiles/cv_optimizer.dir/rules.cc.o"
+  "CMakeFiles/cv_optimizer.dir/rules.cc.o.d"
+  "CMakeFiles/cv_optimizer.dir/view_rewriter.cc.o"
+  "CMakeFiles/cv_optimizer.dir/view_rewriter.cc.o.d"
+  "libcv_optimizer.a"
+  "libcv_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_parser.dir/lexer.cc.o"
+  "CMakeFiles/cv_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/cv_parser.dir/parser.cc.o"
+  "CMakeFiles/cv_parser.dir/parser.cc.o.d"
+  "libcv_parser.a"
+  "libcv_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

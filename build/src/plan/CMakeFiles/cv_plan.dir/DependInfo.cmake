@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/physical_properties.cc" "src/plan/CMakeFiles/cv_plan.dir/physical_properties.cc.o" "gcc" "src/plan/CMakeFiles/cv_plan.dir/physical_properties.cc.o.d"
+  "/root/repo/src/plan/plan_builder.cc" "src/plan/CMakeFiles/cv_plan.dir/plan_builder.cc.o" "gcc" "src/plan/CMakeFiles/cv_plan.dir/plan_builder.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/plan/CMakeFiles/cv_plan.dir/plan_node.cc.o" "gcc" "src/plan/CMakeFiles/cv_plan.dir/plan_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/cv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cv_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

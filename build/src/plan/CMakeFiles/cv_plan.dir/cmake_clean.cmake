@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_plan.dir/physical_properties.cc.o"
+  "CMakeFiles/cv_plan.dir/physical_properties.cc.o.d"
+  "CMakeFiles/cv_plan.dir/plan_builder.cc.o"
+  "CMakeFiles/cv_plan.dir/plan_builder.cc.o.d"
+  "CMakeFiles/cv_plan.dir/plan_node.cc.o"
+  "CMakeFiles/cv_plan.dir/plan_node.cc.o.d"
+  "libcv_plan.a"
+  "libcv_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

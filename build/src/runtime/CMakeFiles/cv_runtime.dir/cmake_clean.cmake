@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_runtime.dir/job_service.cc.o"
+  "CMakeFiles/cv_runtime.dir/job_service.cc.o.d"
+  "CMakeFiles/cv_runtime.dir/workload_repository.cc.o"
+  "CMakeFiles/cv_runtime.dir/workload_repository.cc.o.d"
+  "libcv_runtime.a"
+  "libcv_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

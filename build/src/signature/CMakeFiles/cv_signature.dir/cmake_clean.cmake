@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_signature.dir/signature.cc.o"
+  "CMakeFiles/cv_signature.dir/signature.cc.o.d"
+  "libcv_signature.a"
+  "libcv_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

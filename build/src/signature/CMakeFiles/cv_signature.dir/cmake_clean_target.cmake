@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcv_signature.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_storage.dir/storage_manager.cc.o"
+  "CMakeFiles/cv_storage.dir/storage_manager.cc.o.d"
+  "libcv_storage.a"
+  "libcv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_tpcds.dir/generator.cc.o"
+  "CMakeFiles/cv_tpcds.dir/generator.cc.o.d"
+  "CMakeFiles/cv_tpcds.dir/queries.cc.o"
+  "CMakeFiles/cv_tpcds.dir/queries.cc.o.d"
+  "libcv_tpcds.a"
+  "libcv_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

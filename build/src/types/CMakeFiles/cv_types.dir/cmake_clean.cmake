@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_types.dir/batch.cc.o"
+  "CMakeFiles/cv_types.dir/batch.cc.o.d"
+  "CMakeFiles/cv_types.dir/data_type.cc.o"
+  "CMakeFiles/cv_types.dir/data_type.cc.o.d"
+  "CMakeFiles/cv_types.dir/schema.cc.o"
+  "CMakeFiles/cv_types.dir/schema.cc.o.d"
+  "CMakeFiles/cv_types.dir/value.cc.o"
+  "CMakeFiles/cv_types.dir/value.cc.o.d"
+  "libcv_types.a"
+  "libcv_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_workload.dir/production_workload.cc.o"
+  "CMakeFiles/cv_workload.dir/production_workload.cc.o.d"
+  "CMakeFiles/cv_workload.dir/synthetic.cc.o"
+  "CMakeFiles/cv_workload.dir/synthetic.cc.o.d"
+  "libcv_workload.a"
+  "libcv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

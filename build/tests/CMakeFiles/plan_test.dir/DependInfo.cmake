@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plan_test.cc" "tests/CMakeFiles/plan_test.dir/plan_test.cc.o" "gcc" "tests/CMakeFiles/plan_test.dir/plan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcds/CMakeFiles/cv_tpcds.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/cv_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cv_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/cv_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/cv_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/cv_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/cv_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/signature/CMakeFiles/cv_signature.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/cv_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/cv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cv_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
