@@ -1,7 +1,20 @@
-// Microbenchmarks: executor operator throughput.
+// Microbenchmarks: executor operator throughput and thread scaling.
+//
+// Besides the google-benchmark operator suite (now parameterized by worker
+// count), main() runs a scan->filter->aggregate thread-scaling sweep over
+// 1/2/4/8 workers, verifies the outputs are byte-identical across worker
+// counts, and writes the measurements to BENCH_executor.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "plan/plan_builder.h"
 
@@ -38,52 +51,80 @@ struct Env {
     return PlanBuilder::Extract(name, name, name[4] ? "g2" : "g1", schema);
   }
 
-  double RunPlan(PlanNodePtr plan) {
+  double RunPlan(PlanNodePtr plan, ThreadPool* pool = nullptr,
+                 ExecOptions options = {}) {
     Status st = plan->Bind();
     if (!st.ok()) std::abort();
     AssignNodeIds(plan.get());
-    Executor exec({.storage = &storage});
+    Executor exec({.storage = &storage, .pool = pool, .options = options});
     auto r = exec.Execute(plan);
     if (!r.ok()) std::abort();
     return r->output_rows;
   }
 };
 
+/// Pool sized for `workers` total threads (submitter helps while waiting);
+/// null for single-threaded execution.
+std::unique_ptr<ThreadPool> MakePool(int workers) {
+  if (workers <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(workers - 1);
+}
+
+ExecOptions Opts(int workers) {
+  ExecOptions options;
+  options.worker_threads = workers;
+  return options;
+}
+
 void BM_Filter(benchmark::State& state) {
   Env env(state.range(0));
+  int workers = static_cast<int>(state.range(1));
+  auto pool = MakePool(workers);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        env.RunPlan(env.Scan().Filter(Gt(Col("v"), Lit(0.5))).Build()));
+        env.RunPlan(env.Scan().Filter(Gt(Col("v"), Lit(0.5))).Build(),
+                    pool.get(), Opts(workers)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_Filter)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Filter)->Args({1000, 1})->Args({10000, 1})->Args({10000, 4});
 
 void BM_HashAggregate(benchmark::State& state) {
   Env env(state.range(0));
+  int workers = static_cast<int>(state.range(1));
+  auto pool = MakePool(workers);
   for (auto _ : state) {
     benchmark::DoNotOptimize(env.RunPlan(
         env.Scan()
             .Aggregate({"g"}, {{AggFunc::kCount, nullptr, "n"},
                                {AggFunc::kSum, Col("v"), "sv"}})
-            .Build()));
+            .Build(),
+        pool.get(), Opts(workers)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_HashAggregate)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_HashAggregate)
+    ->Args({1000, 1})
+    ->Args({10000, 1})
+    ->Args({10000, 4});
 
 void BM_Sort(benchmark::State& state) {
   Env env(state.range(0));
+  int workers = static_cast<int>(state.range(1));
+  auto pool = MakePool(workers);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        env.RunPlan(env.Scan().Sort({{"v", false}}).Build()));
+        env.RunPlan(env.Scan().Sort({{"v", false}}).Build(), pool.get(),
+                    Opts(workers)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_Sort)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Sort)->Args({1000, 1})->Args({10000, 1})->Args({10000, 4});
 
 void BM_HashJoin(benchmark::State& state) {
   Env env(state.range(0));
+  int workers = static_cast<int>(state.range(1));
+  auto pool = MakePool(workers);
   for (auto _ : state) {
     auto right = env.Scan("data2")
                      .Project({{Col("k"), "k2"}, {Col("v"), "v2"}});
@@ -91,21 +132,158 @@ void BM_HashJoin(benchmark::State& state) {
         env.Scan()
             .Join(std::move(right), JoinType::kInner, {{"k", "k2"}})
             .Aggregate({}, {{AggFunc::kCount, nullptr, "n"}})
-            .Build()));
+            .Build(),
+        pool.get(), Opts(workers)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_HashJoin)->Args({1000, 1})->Args({10000, 1})->Args({10000, 4});
 
 void BM_Exchange(benchmark::State& state) {
   Env env(state.range(0));
+  int workers = static_cast<int>(state.range(1));
+  auto pool = MakePool(workers);
   for (auto _ : state) {
     benchmark::DoNotOptimize(env.RunPlan(
-        env.Scan().Exchange(Partitioning::Hash({"k"}, 16)).Build()));
+        env.Scan().Exchange(Partitioning::Hash({"k"}, 16)).Build(),
+        pool.get(), Opts(workers)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_Exchange)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Exchange)->Args({1000, 1})->Args({10000, 1})->Args({10000, 4});
+
+// ---------------------------------------------------------------------------
+// Thread-scaling sweep.
+// ---------------------------------------------------------------------------
+
+bool BatchesBitIdentical(const Batch& a, const Batch& b) {
+  if (a.num_rows() != b.num_rows() || !(a.schema() == b.schema())) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const Column& ca = a.column(c);
+    const Column& cb = b.column(c);
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      if (ca.IsNull(r) != cb.IsNull(r)) return false;
+    }
+    switch (a.schema().field(c).type) {
+      case DataType::kDouble:
+        if (std::memcmp(ca.double_data().data(), cb.double_data().data(),
+                        ca.double_data().size() * sizeof(double)) != 0) {
+          return false;
+        }
+        break;
+      case DataType::kInt64:
+      case DataType::kDate:
+        if (ca.int64_data() != cb.int64_data()) return false;
+        break;
+      case DataType::kBool:
+        if (ca.bool_data() != cb.bool_data()) return false;
+        break;
+      case DataType::kString:
+        if (ca.string_data() != cb.string_data()) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+struct SweepPoint {
+  int workers;
+  double best_seconds;
+};
+
+int RunThreadScalingSweep() {
+  constexpr int64_t kRows = 400000;
+  constexpr int kRepeats = 5;
+  const std::vector<int> kWorkerCounts = {1, 2, 4, 8};
+
+  unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("\n=== Thread-scaling sweep: scan -> filter -> aggregate "
+              "(%lld rows, %u host cpus) ===\n",
+              static_cast<long long>(kRows), host_cpus);
+  if (host_cpus < 2) {
+    std::printf("  note: single-core host; workers timeshare one core, so "
+                "wall-clock speedup cannot exceed 1x here\n");
+  }
+  Env env(kRows);
+  auto make_plan = [&](const std::string& out) {
+    return env.Scan()
+        .Filter(Gt(Col("v"), Lit(0.25)))
+        .Aggregate({"g"}, {{AggFunc::kCount, nullptr, "n"},
+                           {AggFunc::kSum, Col("v"), "sv"},
+                           {AggFunc::kMin, Col("v"), "mn"},
+                           {AggFunc::kMax, Col("v"), "mx"}})
+        .Output(out)
+        .Build();
+  };
+
+  std::vector<SweepPoint> sweep;
+  Batch reference;
+  bool byte_identical = true;
+  for (int workers : kWorkerCounts) {
+    auto pool = MakePool(workers);
+    double best = 1e100;
+    std::string out = "sweep_out_w" + std::to_string(workers);
+    for (int i = 0; i < kRepeats; ++i) {
+      auto start = std::chrono::steady_clock::now();
+      env.RunPlan(make_plan(out), pool.get(), Opts(workers));
+      double s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+      if (s < best) best = s;
+    }
+    auto handle = env.storage.OpenStream(out);
+    if (!handle.ok()) std::abort();
+    Batch result = CombineBatches((*handle)->schema, (*handle)->batches);
+    if (workers == 1) {
+      reference = std::move(result);
+    } else if (!BatchesBitIdentical(reference, result)) {
+      byte_identical = false;
+    }
+    sweep.push_back({workers, best});
+    std::printf("  workers=%d  best=%8.2f ms  speedup=%.2fx\n", workers,
+                best * 1e3, sweep.front().best_seconds / best);
+  }
+  std::printf("  byte-identical across worker counts: %s\n",
+              byte_identical ? "yes" : "NO");
+
+  FILE* f = std::fopen("BENCH_executor.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_executor.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"executor_thread_scaling\",\n");
+  std::fprintf(f, "  \"pipeline\": \"scan_filter_aggregate\",\n");
+  std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(kRows));
+  std::fprintf(f, "  \"host_cpus\": %u,\n", host_cpus);
+  std::fprintf(f, "  \"morsel_rows\": %d,\n", ExecOptions{}.morsel_rows);
+  std::fprintf(f, "  \"repeats\": %d,\n", kRepeats);
+  std::fprintf(f, "  \"byte_identical\": %s,\n",
+               byte_identical ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"best_seconds\": %.6f, "
+                 "\"speedup\": %.3f}%s\n",
+                 sweep[i].workers, sweep[i].best_seconds,
+                 sweep.front().best_seconds / sweep[i].best_seconds,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("  wrote BENCH_executor.json\n");
+  return byte_identical ? 0 : 1;
+}
 
 }  // namespace
 }  // namespace cloudviews
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return cloudviews::RunThreadScalingSweep();
+}

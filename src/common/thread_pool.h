@@ -1,0 +1,122 @@
+#ifndef CLOUDVIEWS_COMMON_THREAD_POOL_H_
+#define CLOUDVIEWS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cloudviews {
+
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID);
+/// the honest basis for the paper's "CPU hours" resource accounting (wall
+/// time inflates under thread oversubscription).
+double ThreadCpuSeconds();
+
+/// \brief Thread-safe accumulator of CPU time contributed by many threads.
+///
+/// Each worker measures its own thread-CPU-clock delta and adds it here, so
+/// an operator's cpu_seconds is the sum over every thread that touched it —
+/// the attribution invariant the CloudViews feedback loop depends on.
+class CpuAccumulator {
+ public:
+  void AddSeconds(double seconds) {
+    nanos_.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                     std::memory_order_relaxed);
+  }
+  double seconds() const {
+    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+ private:
+  std::atomic<int64_t> nanos_{0};
+};
+
+/// RAII helper: credits the enclosing scope's thread-CPU delta to an
+/// accumulator (no-op when the accumulator is null).
+class ScopedThreadCpuTimer {
+ public:
+  explicit ScopedThreadCpuTimer(CpuAccumulator* acc)
+      : acc_(acc), start_(acc ? ThreadCpuSeconds() : 0) {}
+  ~ScopedThreadCpuTimer() {
+    if (acc_ != nullptr) acc_->AddSeconds(ThreadCpuSeconds() - start_);
+  }
+  ScopedThreadCpuTimer(const ScopedThreadCpuTimer&) = delete;
+  ScopedThreadCpuTimer& operator=(const ScopedThreadCpuTimer&) = delete;
+
+ private:
+  CpuAccumulator* acc_;
+  double start_;
+};
+
+/// \brief A shared fixed-size worker pool for morsel-driven execution.
+///
+/// One pool is owned by the job service and shared by every concurrently
+/// running job: both independent plan subtrees and intra-operator morsel
+/// work are scheduled here. Tasks must not block except through
+/// TaskGroup::Wait, which lends the waiting thread to the pool (so nested
+/// fork/join parallelism cannot deadlock on a bounded pool).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  friend class TaskGroup;
+
+  void Enqueue(std::function<void()> task);
+  /// Runs one queued task on the calling thread; false if the queue was
+  /// empty. Used by waiters to help instead of blocking.
+  bool RunOne();
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+/// \brief A fork/join scope over pool tasks.
+///
+/// With a null pool every Spawn runs inline on the calling thread, giving
+/// the deterministic single-threaded schedule (`worker_threads = 1`).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Spawn(std::function<void()> fn);
+
+  /// Blocks until every spawned task finished; the calling thread executes
+  /// queued pool tasks while it waits.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t pending_ = 0;  // guarded by mu_
+};
+
+/// Runs fn(0..n-1); morsel indices are distributed over the pool (inline
+/// when pool is null or n < 2). Blocks until all iterations finished.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_THREAD_POOL_H_

@@ -12,7 +12,7 @@ CloudViews::CloudViews(CloudViewsConfig config)
   repository_ = std::make_unique<WorkloadRepository>();
   job_service_ = std::make_unique<JobService>(
       &clock_, storage_.get(), metadata_.get(), repository_.get(),
-      config.optimizer);
+      config.optimizer, config.exec);
 }
 
 Result<JobResult> CloudViews::Submit(const JobDefinition& def,

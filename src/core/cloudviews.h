@@ -13,6 +13,9 @@ struct CloudViewsConfig {
   OptimizerConfig optimizer;
   MetadataServiceConfig metadata;
   AnalyzerConfig analyzer;
+  /// Execution options (worker threads, morsel size) for the job service's
+  /// shared morsel-driven engine; the default runs single-threaded.
+  ExecOptions exec;
   LogicalTime clock_start = 0;
 };
 

@@ -1,0 +1,83 @@
+#include "exec/batch_ops.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cloudviews {
+
+Result<std::vector<int>> ResolveColumns(const Schema& schema,
+                                        const std::vector<std::string>& names) {
+  std::vector<int> idx;
+  idx.reserve(names.size());
+  for (const auto& n : names) {
+    int i = schema.FieldIndex(n);
+    if (i < 0) {
+      return Status::Internal("executor: column '" + n + "' not found");
+    }
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+Hash128 RowKey(const Batch& batch, size_t row, const std::vector<int>& cols) {
+  HashBuilder hb;
+  for (int c : cols) {
+    batch.column(static_cast<size_t>(c)).GetValue(row).HashInto(&hb);
+  }
+  return hb.Finish();
+}
+
+int CompareRowsOnColumns(const Batch& a, size_t ra, const std::vector<int>& ca,
+                         const Batch& b, size_t rb,
+                         const std::vector<int>& cb) {
+  for (size_t k = 0; k < ca.size(); ++k) {
+    int cmp = a.column(static_cast<size_t>(ca[k]))
+                  .GetValue(ra)
+                  .Compare(b.column(static_cast<size_t>(cb[k])).GetValue(rb));
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+ResolvedSortKeys ResolveSortKeys(const Schema& schema,
+                                 const std::vector<SortKey>& keys) {
+  ResolvedSortKeys resolved;
+  for (const auto& k : keys) {
+    int i = schema.FieldIndex(k.column);
+    if (i < 0) continue;  // unknown keys are skipped (validated at bind)
+    resolved.cols.push_back(i);
+    resolved.ascending.push_back(k.ascending);
+  }
+  return resolved;
+}
+
+int CompareRowsSorted(const Batch& a, size_t ra, const Batch& b, size_t rb,
+                      const ResolvedSortKeys& keys) {
+  for (size_t k = 0; k < keys.cols.size(); ++k) {
+    int cmp =
+        a.column(static_cast<size_t>(keys.cols[k]))
+            .GetValue(ra)
+            .Compare(
+                b.column(static_cast<size_t>(keys.cols[k])).GetValue(rb));
+    if (cmp != 0) return keys.ascending[k] ? cmp : -cmp;
+  }
+  return 0;
+}
+
+std::vector<size_t> StableSortOrder(const Batch& data,
+                                    const ResolvedSortKeys& keys) {
+  std::vector<size_t> order(data.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return CompareRowsSorted(data, a, data, b, keys) < 0;
+  });
+  return order;
+}
+
+Batch GatherRows(const Batch& src, const std::vector<size_t>& rows) {
+  Batch out(src.schema());
+  for (size_t r : rows) out.AppendRowFrom(src, r);
+  return out;
+}
+
+}  // namespace cloudviews

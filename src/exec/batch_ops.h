@@ -1,0 +1,51 @@
+#ifndef CLOUDVIEWS_EXEC_BATCH_OPS_H_
+#define CLOUDVIEWS_EXEC_BATCH_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "plan/physical_properties.h"
+#include "types/batch.h"
+
+namespace cloudviews {
+
+/// Maps column names to indices in `schema`; Internal error on a miss.
+Result<std::vector<int>> ResolveColumns(const Schema& schema,
+                                        const std::vector<std::string>& names);
+
+/// 128-bit key of the given columns of one row (used by hash join, hash
+/// aggregate, and hash partitioning).
+Hash128 RowKey(const Batch& batch, size_t row, const std::vector<int>& cols);
+
+/// Lexicographic comparison of row `ra` of `a` against row `rb` of `b` on
+/// the given (same-typed) key columns; nulls first, as Value::Compare.
+int CompareRowsOnColumns(const Batch& a, size_t ra, const std::vector<int>& ca,
+                         const Batch& b, size_t rb,
+                         const std::vector<int>& cb);
+
+/// Sort keys resolved against a schema; unknown keys are skipped (they are
+/// validated at bind time), matching SortBatch.
+struct ResolvedSortKeys {
+  std::vector<int> cols;
+  std::vector<bool> ascending;
+  bool empty() const { return cols.empty(); }
+};
+ResolvedSortKeys ResolveSortKeys(const Schema& schema,
+                                 const std::vector<SortKey>& keys);
+
+/// -1/0/1 ordering of two rows under the resolved sort keys.
+int CompareRowsSorted(const Batch& a, size_t ra, const Batch& b, size_t rb,
+                      const ResolvedSortKeys& keys);
+
+/// Row permutation that stable-sorts `data` under the resolved keys.
+std::vector<size_t> StableSortOrder(const Batch& data,
+                                    const ResolvedSortKeys& keys);
+
+/// Materializes the given rows of src, in order, into a new batch.
+Batch GatherRows(const Batch& src, const std::vector<size_t>& rows);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXEC_BATCH_OPS_H_

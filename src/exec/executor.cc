@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <ctime>
-#include <numeric>
-#include <unordered_map>
+#include <mutex>
+#include <utility>
+#include <vector>
 
-#include "common/guid.h"
-#include "common/string_util.h"
-#include "exec/processor_registry.h"
+#include "common/thread_pool.h"
+#include "exec/batch_ops.h"
+#include "exec/physical_operator.h"
 
 namespace cloudviews {
 
@@ -20,86 +20,20 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// CPU seconds consumed by the calling thread; the honest basis for the
-/// paper's "CPU hours" resource accounting (wall time inflates under
-/// thread oversubscription).
-double ThreadCpuSeconds() {
-  timespec ts;
-  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
-  return static_cast<double>(ts.tv_sec) +
-         static_cast<double>(ts.tv_nsec) * 1e-9;
-}
-
-/// 128-bit key of the given columns of one row (used by hash join, hash
-/// aggregate, and hash partitioning).
-Hash128 RowKey(const Batch& batch, size_t row, const std::vector<int>& cols) {
-  HashBuilder hb;
-  for (int c : cols) {
-    batch.column(static_cast<size_t>(c)).GetValue(row).HashInto(&hb);
-  }
-  return hb.Finish();
-}
-
-Result<std::vector<int>> ResolveColumns(const Schema& schema,
-                                        const std::vector<std::string>& names) {
-  std::vector<int> idx;
-  idx.reserve(names.size());
-  for (const auto& n : names) {
-    int i = schema.FieldIndex(n);
-    if (i < 0) {
-      return Status::Internal("executor: column '" + n + "' not found");
-    }
-    idx.push_back(i);
-  }
-  return idx;
-}
-
-/// Row comparator over sort keys; nulls first, per-key direction.
-struct RowComparator {
-  const Batch* batch;
-  std::vector<int> cols;
-  std::vector<bool> ascending;
-
-  bool operator()(size_t a, size_t b) const {
-    for (size_t k = 0; k < cols.size(); ++k) {
-      const Column& c = batch->column(static_cast<size_t>(cols[k]));
-      int cmp = c.GetValue(a).Compare(c.GetValue(b));
-      if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
-    }
-    return false;
-  }
-};
-
-Batch GatherRows(const Batch& src, const std::vector<size_t>& rows) {
-  Batch out(src.schema());
-  for (size_t r : rows) out.AppendRowFrom(src, r);
-  return out;
-}
-
 }  // namespace
 
 Batch CombineBatches(const Schema& schema,
                      const std::vector<Batch>& batches) {
   Batch out(schema);
   for (const auto& b : batches) {
-    for (size_t r = 0; r < b.num_rows(); ++r) out.AppendRowFrom(b, r);
+    out.AppendRowsFrom(b, 0, b.num_rows());
   }
   return out;
 }
 
 Batch SortBatch(const Batch& data, const std::vector<SortKey>& keys) {
-  RowComparator cmp;
-  cmp.batch = &data;
-  for (const auto& k : keys) {
-    int i = data.schema().FieldIndex(k.column);
-    if (i < 0) continue;  // unknown keys are skipped (validated at bind)
-    cmp.cols.push_back(i);
-    cmp.ascending.push_back(k.ascending);
-  }
-  std::vector<size_t> order(data.num_rows());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), cmp);
-  return GatherRows(data, order);
+  ResolvedSortKeys resolved = ResolveSortKeys(data.schema(), keys);
+  return GatherRows(data, StableSortOrder(data, resolved));
 }
 
 Result<std::vector<Batch>> PartitionBatch(const Batch& data,
@@ -151,431 +85,129 @@ Result<std::vector<Batch>> PartitionBatch(const Batch& data,
   return Status::Internal("unknown partition scheme");
 }
 
+/// Shared (per Execute call) driver state.
+struct Executor::ExecState {
+  /// Null runs everything inline on the submitting thread.
+  ThreadPool* pool = nullptr;
+  size_t morsel_rows = 4096;
+  std::mutex mu;  // guards stats
+  JobRunStats* stats = nullptr;
+};
+
 Result<JobRunStats> Executor::Execute(const PlanNodePtr& root) {
   if (!root->bound()) {
     return Status::InvalidArgument("plan must be bound before execution");
   }
   JobRunStats stats;
+  ExecState state;
+  state.pool =
+      ctx_.options.worker_threads > 1 ? ctx_.pool : nullptr;
+  state.morsel_rows =
+      ctx_.options.morsel_rows > 0
+          ? static_cast<size_t>(ctx_.options.morsel_rows)
+          : size_t{1};
+  state.stats = &stats;
   auto start = Clock::now();
-  CV_ASSIGN_OR_RETURN(NodeResult result, ExecuteNode(root.get(), &stats));
+  CV_ASSIGN_OR_RETURN(MorselSet result, ExecuteNode(root.get(), &state));
   stats.latency_seconds = SecondsSince(start);
   for (const auto& [id, op] : stats.operators) {
     stats.cpu_seconds += op.cpu_seconds;
   }
-  stats.output_rows = static_cast<double>(result.data.num_rows());
-  stats.output_bytes = static_cast<double>(result.data.ByteSize());
+  stats.output_rows = static_cast<double>(MorselRowCount(result));
+  stats.output_bytes = static_cast<double>(MorselByteSize(result));
   return stats;
 }
 
-Result<Executor::NodeResult> Executor::ExecuteNode(PlanNode* node,
-                                                   JobRunStats* stats) {
-  // Execute children first, accumulating their inclusive latencies.
-  std::vector<Batch> child_data;
-  double children_seconds = 0;
-  for (const auto& c : node->children()) {
-    CV_ASSIGN_OR_RETURN(NodeResult r, ExecuteNode(c.get(), stats));
-    children_seconds += r.inclusive_seconds;
-    child_data.push_back(std::move(r.data));
-  }
+Result<MorselSet> Executor::ExecuteNode(PlanNode* node, ExecState* state) {
+  auto subtree_start = Clock::now();
 
-  auto start = Clock::now();
-  double cpu_start = ThreadCpuSeconds();
-  Batch out;
-
-  switch (node->kind()) {
-    case OpKind::kExtract: {
-      auto* extract = static_cast<ExtractNode*>(node);
-      CV_ASSIGN_OR_RETURN(StreamHandle stream,
-                          ctx_.storage->OpenStream(extract->stream_name()));
-      if (!(stream->schema == extract->output_schema())) {
-        return Status::TypeError(
-            "stream '" + extract->stream_name() +
-            "' schema does not match EXTRACT declaration");
-      }
-      out = CombineBatches(stream->schema, stream->batches);
-      break;
-    }
-
-    case OpKind::kViewRead: {
-      auto* view = static_cast<ViewReadNode*>(node);
-      CV_ASSIGN_OR_RETURN(StreamHandle stream,
-                          ctx_.storage->OpenStream(view->view_path()));
-      out = CombineBatches(stream->schema, stream->batches);
-      // The view's partitions are each sorted per its design; the node
-      // advertises that order, so restore it globally across partitions
-      // (the k-way merge a distributed reader performs).
-      if (stream->props.sort_order.IsSorted() && stream->batches.size() > 1) {
-        out = SortBatch(out, stream->props.sort_order.keys);
-      }
-      break;
-    }
-
-    case OpKind::kFilter: {
-      auto* filter = static_cast<FilterNode*>(node);
-      const Batch& in = child_data[0];
-      Column pred(DataType::kBool);
-      CV_RETURN_NOT_OK(filter->predicate()->Evaluate(in, &pred));
-      out = Batch(in.schema());
-      for (size_t r = 0; r < in.num_rows(); ++r) {
-        if (!pred.IsNull(r) && pred.bool_data()[r] != 0) {
-          out.AppendRowFrom(in, r);
-        }
-      }
-      break;
-    }
-
-    case OpKind::kProject: {
-      auto* project = static_cast<ProjectNode*>(node);
-      const Batch& in = child_data[0];
-      out = Batch(node->output_schema());
-      for (size_t e = 0; e < project->exprs().size(); ++e) {
-        Column col(node->output_schema().field(e).type);
-        CV_RETURN_NOT_OK(project->exprs()[e].expr->Evaluate(in, &col));
-        out.column(e) = std::move(col);
-      }
-      break;
-    }
-
-    case OpKind::kJoin: {
-      auto* join = static_cast<JoinNode*>(node);
-      const Batch& left = child_data[0];
-      const Batch& right = child_data[1];
-      CV_ASSIGN_OR_RETURN(
-          std::vector<int> lcols,
-          ResolveColumns(left.schema(), join->LeftKeys()));
-      CV_ASSIGN_OR_RETURN(
-          std::vector<int> rcols,
-          ResolveColumns(right.schema(), join->RightKeys()));
-      out = Batch(node->output_schema());
-      auto emit = [&](size_t lr, size_t rr) {
-        size_t c = 0;
-        for (size_t i = 0; i < left.num_columns(); ++i, ++c) {
-          out.column(c).AppendFrom(left.column(i), lr);
-        }
-        for (size_t i = 0; i < right.num_columns(); ++i, ++c) {
-          out.column(c).AppendFrom(right.column(i), rr);
-        }
-      };
-      auto emit_left_only = [&](size_t lr) {
-        size_t c = 0;
-        for (size_t i = 0; i < left.num_columns(); ++i, ++c) {
-          out.column(c).AppendFrom(left.column(i), lr);
-        }
-        for (size_t i = 0; i < right.num_columns(); ++i, ++c) {
-          out.column(c).AppendNull();
-        }
-      };
-
-      if (join->algorithm() == JoinAlgorithm::kMerge) {
-        if (join->join_type() != JoinType::kInner) {
-          return Status::Unimplemented("merge join supports INNER only");
-        }
-        // Inputs are sorted on the keys (enforced by the optimizer).
-        size_t li = 0, ri = 0;
-        auto key_cmp = [&](size_t lr, size_t rr) {
-          for (size_t k = 0; k < lcols.size(); ++k) {
-            int cmp = left.column(static_cast<size_t>(lcols[k]))
-                          .GetValue(lr)
-                          .Compare(right.column(static_cast<size_t>(rcols[k]))
-                                       .GetValue(rr));
-            if (cmp != 0) return cmp;
-          }
-          return 0;
-        };
-        while (li < left.num_rows() && ri < right.num_rows()) {
-          int cmp = key_cmp(li, ri);
-          if (cmp < 0) {
-            ++li;
-          } else if (cmp > 0) {
-            ++ri;
-          } else {
-            // Duplicate groups on both sides.
-            size_t lend = li + 1;
-            while (lend < left.num_rows() && key_cmp(lend, ri) == 0) ++lend;
-            size_t rend = ri + 1;
-            while (rend < right.num_rows() && key_cmp(li, rend) == 0) ++rend;
-            for (size_t a = li; a < lend; ++a) {
-              for (size_t b = ri; b < rend; ++b) emit(a, b);
-            }
-            li = lend;
-            ri = rend;
-          }
-        }
-      } else {
-        // Hash join: build on the right input, probe with the left.
-        std::unordered_map<Hash128, std::vector<size_t>, Hash128Hasher>
-            table;
-        table.reserve(right.num_rows());
-        for (size_t r = 0; r < right.num_rows(); ++r) {
-          table[RowKey(right, r, rcols)].push_back(r);
-        }
-        for (size_t l = 0; l < left.num_rows(); ++l) {
-          auto it = table.find(RowKey(left, l, lcols));
-          if (it != table.end()) {
-            for (size_t r : it->second) emit(l, r);
-          } else if (join->join_type() == JoinType::kLeftOuter) {
-            emit_left_only(l);
-          }
-        }
-      }
-      break;
-    }
-
-    case OpKind::kAggregate: {
-      auto* agg = static_cast<AggregateNode*>(node);
-      const Batch& in = child_data[0];
-      CV_ASSIGN_OR_RETURN(
-          std::vector<int> gcols,
-          ResolveColumns(in.schema(), agg->group_keys()));
-
-      // Pre-evaluate aggregate arguments over the whole input.
-      std::vector<Column> arg_cols;
-      for (const auto& spec : agg->aggregates()) {
-        if (spec.arg) {
-          Column col(spec.arg->output_type());
-          CV_RETURN_NOT_OK(spec.arg->Evaluate(in, &col));
-          arg_cols.push_back(std::move(col));
+  // Execute children — independent subtrees — concurrently when a pool is
+  // available. Error reporting is deterministic: the lowest-index failing
+  // child wins regardless of completion order.
+  size_t num_children = node->children().size();
+  std::vector<MorselSet> inputs(num_children);
+  std::vector<Status> child_status(num_children, Status::OK());
+  if (state->pool != nullptr && num_children > 1) {
+    TaskGroup group(state->pool);
+    for (size_t i = 0; i < num_children; ++i) {
+      group.Spawn([this, node, state, i, &inputs, &child_status] {
+        auto r = ExecuteNode(node->children()[i].get(), state);
+        if (r.ok()) {
+          inputs[i] = std::move(r).ValueOrDie();
         } else {
-          arg_cols.emplace_back(DataType::kInt64);  // placeholder
+          child_status[i] = r.status();
         }
-      }
-
-      struct Group {
-        size_t first_row;
-        std::vector<AggState> states;
-      };
-      auto make_states = [&]() {
-        std::vector<AggState> states;
-        for (const auto& spec : agg->aggregates()) {
-          states.emplace_back(spec.func);
-        }
-        return states;
-      };
-      auto update_group = [&](Group* g, size_t row) {
-        for (size_t a = 0; a < agg->aggregates().size(); ++a) {
-          const auto& spec = agg->aggregates()[a];
-          if (spec.arg) {
-            g->states[a].Update(arg_cols[a].GetValue(row));
-          } else {
-            g->states[a].UpdateCountStar();
-          }
-        }
-      };
-
-      std::vector<Group> groups;
-      if (agg->group_keys().empty()) {
-        groups.push_back({0, make_states()});
-        for (size_t r = 0; r < in.num_rows(); ++r) {
-          update_group(&groups[0], r);
-        }
-      } else if (agg->algorithm() == AggAlgorithm::kStream) {
-        // Input sorted on group keys: detect group boundaries.
-        auto same_group = [&](size_t a, size_t b) {
-          for (int c : gcols) {
-            if (in.column(static_cast<size_t>(c))
-                    .GetValue(a)
-                    .Compare(in.column(static_cast<size_t>(c)).GetValue(b)) !=
-                0) {
-              return false;
-            }
-          }
-          return true;
-        };
-        for (size_t r = 0; r < in.num_rows(); ++r) {
-          if (groups.empty() || !same_group(groups.back().first_row, r)) {
-            groups.push_back({r, make_states()});
-          }
-          update_group(&groups.back(), r);
-        }
+      });
+    }
+    group.Wait();
+  } else {
+    for (size_t i = 0; i < num_children; ++i) {
+      auto r = ExecuteNode(node->children()[i].get(), state);
+      if (r.ok()) {
+        inputs[i] = std::move(r).ValueOrDie();
       } else {
-        std::unordered_map<Hash128, size_t, Hash128Hasher> index;
-        for (size_t r = 0; r < in.num_rows(); ++r) {
-          Hash128 key = RowKey(in, r, gcols);
-          auto [it, inserted] = index.emplace(key, groups.size());
-          if (inserted) groups.push_back({r, make_states()});
-          update_group(&groups[it->second], r);
-        }
+        child_status[i] = r.status();
       }
-
-      out = Batch(node->output_schema());
-      // Empty input with group keys yields no rows; without keys it yields
-      // the single global group (already created above).
-      for (const auto& g : groups) {
-        size_t c = 0;
-        for (int gc : gcols) {
-          out.column(c++).AppendFrom(in.column(static_cast<size_t>(gc)),
-                                     g.first_row);
-        }
-        for (size_t a = 0; a < agg->aggregates().size(); ++a) {
-          out.column(c).AppendValue(g.states[a].Finish(
-              node->output_schema().field(c).type));
-          ++c;
-        }
-      }
-      break;
-    }
-
-    case OpKind::kSort: {
-      auto* sort = static_cast<SortNode*>(node);
-      out = SortBatch(child_data[0], sort->keys());
-      break;
-    }
-
-    case OpKind::kExchange: {
-      auto* exchange = static_cast<ExchangeNode*>(node);
-      CV_ASSIGN_OR_RETURN(
-          std::vector<Batch> parts,
-          PartitionBatch(child_data[0], exchange->partitioning()));
-      out = CombineBatches(child_data[0].schema(), parts);
-      break;
-    }
-
-    case OpKind::kUnionAll: {
-      out = Batch(node->output_schema());
-      for (const auto& b : child_data) {
-        for (size_t r = 0; r < b.num_rows(); ++r) out.AppendRowFrom(b, r);
-      }
-      break;
-    }
-
-    case OpKind::kProcess: {
-      auto* process = static_cast<ProcessNode*>(node);
-      CV_ASSIGN_OR_RETURN(
-          const ProcessorFn* fn,
-          ProcessorRegistry::Global()->Lookup(process->processor()));
-      Batch result;
-      CV_RETURN_NOT_OK((*fn)(child_data[0], &result));
-      if (!(result.schema() == node->output_schema())) {
-        return Status::TypeError("processor '" + process->processor() +
-                                 "' produced schema [" +
-                                 result.schema().ToString() +
-                                 "], declared [" +
-                                 node->output_schema().ToString() + "]");
-      }
-      out = std::move(result);
-      break;
-    }
-
-    case OpKind::kTop: {
-      auto* top = static_cast<TopNode*>(node);
-      const Batch& in = child_data[0];
-      out = Batch(in.schema());
-      size_t n = std::min<size_t>(static_cast<size_t>(top->limit()),
-                                  in.num_rows());
-      for (size_t r = 0; r < n; ++r) out.AppendRowFrom(in, r);
-      break;
-    }
-
-    case OpKind::kSpool: {
-      auto* spool = static_cast<SpoolNode*>(node);
-      const Batch& in = child_data[0];
-      // Enforce the mined physical design on the stored copy.
-      Batch designed = in;
-      if (spool->design().sort_order.IsSorted()) {
-        designed = SortBatch(designed, spool->design().sort_order.keys);
-      }
-      std::vector<Batch> stored;
-      if (spool->design().partitioning.IsSpecified()) {
-        CV_ASSIGN_OR_RETURN(
-            stored, PartitionBatch(designed, spool->design().partitioning));
-        // Partitioning loses the global sort; re-sort each partition.
-        if (spool->design().sort_order.IsSorted()) {
-          for (auto& p : stored) {
-            p = SortBatch(p, spool->design().sort_order.keys);
-          }
-        }
-      } else {
-        stored.push_back(std::move(designed));
-      }
-      LogicalTime now = ctx_.storage->clock()->Now();
-      LogicalTime expiry = spool->lifetime_seconds() > 0
-                               ? now + spool->lifetime_seconds()
-                               : ctx_.view_expiry;
-      StreamData view = MakeStreamData(spool->view_path(), GenerateGuid(),
-                                       in.schema(), std::move(stored), now,
-                                       expiry, spool->design());
-      CV_RETURN_NOT_OK(ctx_.storage->WriteStream(view));
-      // Early materialization: publish before the job finishes (Sec 6.4).
-      if (ctx_.on_view_materialized) {
-        ctx_.on_view_materialized(*spool, view);
-      }
-      out = in;
-      break;
-    }
-
-    case OpKind::kReduce: {
-      auto* reduce = static_cast<ReduceNode*>(node);
-      const Batch& in = child_data[0];
-      CV_ASSIGN_OR_RETURN(std::vector<int> kcols,
-                          ResolveColumns(in.schema(), reduce->keys()));
-      CV_ASSIGN_OR_RETURN(
-          const ProcessorFn* fn,
-          ProcessorRegistry::Global()->Lookup(reduce->processor()));
-      auto same_group = [&](size_t a, size_t b) {
-        for (int c : kcols) {
-          if (in.column(static_cast<size_t>(c))
-                  .GetValue(a)
-                  .Compare(in.column(static_cast<size_t>(c)).GetValue(b)) !=
-              0) {
-            return false;
-          }
-        }
-        return true;
-      };
-      out = Batch(node->output_schema());
-      size_t start = 0;
-      while (start < in.num_rows()) {
-        size_t end = start + 1;
-        while (end < in.num_rows() && same_group(start, end)) ++end;
-        Batch group(in.schema());
-        for (size_t r = start; r < end; ++r) group.AppendRowFrom(in, r);
-        Batch result;
-        CV_RETURN_NOT_OK((*fn)(group, &result));
-        if (!(result.schema() == node->output_schema())) {
-          return Status::TypeError("reducer '" + reduce->processor() +
-                                   "' produced schema [" +
-                                   result.schema().ToString() +
-                                   "], declared [" +
-                                   node->output_schema().ToString() + "]");
-        }
-        for (size_t r = 0; r < result.num_rows(); ++r) {
-          out.AppendRowFrom(result, r);
-        }
-        start = end;
-      }
-      break;
-    }
-
-    case OpKind::kOutput: {
-      auto* output = static_cast<OutputNode*>(node);
-      const Batch& in = child_data[0];
-      // Record the physical layout the enforced design produced, so that
-      // downstream consumer jobs (and the analyzer) see it.
-      StreamData data = MakeStreamData(
-          output->stream_name(), GenerateGuid(), in.schema(), {in},
-          ctx_.storage->clock()->Now(), /*expires_at=*/0,
-          node->children()[0]->Delivered());
-      CV_RETURN_NOT_OK(ctx_.storage->WriteStream(std::move(data)));
-      out = in;
-      break;
     }
   }
+  for (auto& s : child_status) CV_RETURN_NOT_OK(s);
 
-  double own_seconds = SecondsSince(start);
-  OperatorRuntimeStats op;
-  op.node_id = node->id();
-  op.kind = node->kind();
-  op.rows = static_cast<double>(out.num_rows());
-  op.bytes = static_cast<double>(out.ByteSize());
-  op.exclusive_seconds = own_seconds;
-  op.inclusive_seconds = own_seconds + children_seconds;
-  op.cpu_seconds = ThreadCpuSeconds() - cpu_start;
-  stats->operators[node->id()] = op;
+  // The operator's own work: open, phased morsel processing, close. Every
+  // callback is wrapped in a thread-CPU timer; cpu_seconds is the sum of
+  // the deltas across all workers that touched this operator.
+  CpuAccumulator cpu;
+  OperatorContext octx;
+  octx.exec = &ctx_;
+  octx.pool = state->pool;
+  octx.morsel_rows = state->morsel_rows;
+  octx.cpu = &cpu;
 
-  NodeResult result;
-  result.data = std::move(out);
-  result.inclusive_seconds = op.inclusive_seconds;
-  return result;
+  auto own_start = Clock::now();
+  CV_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalOperator> op,
+                      MakePhysicalOperator(node));
+  {
+    ScopedThreadCpuTimer timer(&cpu);
+    CV_RETURN_NOT_OK(op->Open(octx, std::move(inputs)));
+  }
+  for (size_t phase = 0; phase < op->num_phases(); ++phase) {
+    {
+      ScopedThreadCpuTimer timer(&cpu);
+      CV_RETURN_NOT_OK(op->PreparePhase(octx, phase));
+    }
+    size_t n = op->NumMorsels(phase);
+    std::vector<Status> morsel_status(n, Status::OK());
+    ParallelFor(state->pool, n, [&](size_t m) {
+      ScopedThreadCpuTimer timer(&cpu);
+      morsel_status[m] = op->ProcessMorsel(octx, phase, m);
+    });
+    // Deterministic error selection: lowest morsel index wins.
+    for (auto& s : morsel_status) CV_RETURN_NOT_OK(s);
+  }
+  MorselSet out;
+  {
+    ScopedThreadCpuTimer timer(&cpu);
+    CV_ASSIGN_OR_RETURN(out, op->Close(octx));
+  }
+
+  auto end = Clock::now();
+  OperatorRuntimeStats op_stats;
+  op_stats.node_id = node->id();
+  op_stats.kind = node->kind();
+  op_stats.rows = static_cast<double>(MorselRowCount(out));
+  op_stats.bytes = static_cast<double>(MorselByteSize(out));
+  op_stats.exclusive_seconds =
+      std::chrono::duration<double>(end - own_start).count();
+  // Wall span of the whole subtree. With parallel children this is the
+  // real elapsed time (not the sum of child times), so the invariant
+  // job latency >= root inclusive >= any exclusive still holds.
+  op_stats.inclusive_seconds =
+      std::chrono::duration<double>(end - subtree_start).count();
+  op_stats.cpu_seconds = cpu.seconds();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->stats->operators[node->id()] = op_stats;
+  }
+  return out;
 }
 
 }  // namespace cloudviews

@@ -5,16 +5,26 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/exec_options.h"
+#include "exec/morsel.h"
 #include "exec/operator_stats.h"
 #include "plan/plan_node.h"
 #include "storage/storage_manager.h"
 
 namespace cloudviews {
 
+class ThreadPool;
+
 /// \brief Per-job execution environment.
 struct ExecContext {
   StorageManager* storage = nullptr;
   uint64_t job_id = 0;
+
+  /// Shared worker pool (owned by the job service, not by the job); null or
+  /// worker_threads <= 1 runs the plan single-threaded on the submitting
+  /// thread.
+  ThreadPool* pool = nullptr;
+  ExecOptions options;
 
   /// Invoked when a SpoolNode finishes writing its view — *before* the rest
   /// of the job completes. This is the early-materialization hook
@@ -28,12 +38,17 @@ struct ExecContext {
   LogicalTime view_expiry = 0;
 };
 
-/// \brief Operator-at-a-time executor over the storage manager.
+/// \brief Morsel-driven executor over the storage manager.
 ///
-/// Each operator fully materializes its output (MonetDB-style), which keeps
-/// per-operator latency/cardinality/size attribution exact — precisely the
-/// statistics the CloudViews feedback loop consumes. Plans must be bound
-/// and have node ids assigned.
+/// Each plan node is run by a PhysicalOperator (open / process-morsel /
+/// close); operators still fully materialize their outputs — as ordered
+/// morsel sets — which keeps per-operator latency/cardinality/size
+/// attribution exact, precisely the statistics the CloudViews feedback
+/// loop consumes. Independent plan subtrees and intra-operator morsel work
+/// are scheduled onto the shared thread pool; per-operator cpu_seconds are
+/// the sum of thread-CPU deltas across every worker that touched the
+/// operator. Results are byte-identical for every worker count and morsel
+/// size. Plans must be bound and have node ids assigned.
 class Executor {
  public:
   explicit Executor(ExecContext ctx) : ctx_(std::move(ctx)) {}
@@ -43,12 +58,9 @@ class Executor {
   Result<JobRunStats> Execute(const PlanNodePtr& root);
 
  private:
-  struct NodeResult {
-    Batch data;
-    double inclusive_seconds = 0;
-  };
+  struct ExecState;
 
-  Result<NodeResult> ExecuteNode(PlanNode* node, JobRunStats* stats);
+  Result<MorselSet> ExecuteNode(PlanNode* node, ExecState* state);
 
   ExecContext ctx_;
 };

@@ -1,0 +1,51 @@
+#include "exec/morsel.h"
+
+namespace cloudviews {
+
+size_t MorselRowCount(const MorselSet& morsels) {
+  size_t rows = 0;
+  for (const auto& m : morsels) rows += m.num_rows();
+  return rows;
+}
+
+int64_t MorselByteSize(const MorselSet& morsels) {
+  int64_t bytes = 0;
+  for (const auto& m : morsels) bytes += m.ByteSize();
+  return bytes;
+}
+
+std::vector<MorselSlice> PlanMorselSlices(const std::vector<Batch>& batches,
+                                          size_t morsel_rows) {
+  if (morsel_rows == 0) morsel_rows = 1;
+  std::vector<MorselSlice> slices;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    size_t rows = batches[b].num_rows();
+    for (size_t begin = 0; begin < rows; begin += morsel_rows) {
+      slices.push_back({b, begin, std::min(begin + morsel_rows, rows)});
+    }
+  }
+  return slices;
+}
+
+Batch MaterializeSlice(const Batch& src, size_t begin, size_t end) {
+  Batch out(src.schema());
+  out.AppendRowsFrom(src, begin, end);
+  return out;
+}
+
+MorselSet ChunkBatch(Batch data, size_t morsel_rows) {
+  MorselSet out;
+  size_t rows = data.num_rows();
+  if (rows == 0) return out;
+  if (morsel_rows == 0 || rows <= morsel_rows) {
+    out.push_back(std::move(data));
+    return out;
+  }
+  for (size_t begin = 0; begin < rows; begin += morsel_rows) {
+    out.push_back(
+        MaterializeSlice(data, begin, std::min(begin + morsel_rows, rows)));
+  }
+  return out;
+}
+
+}  // namespace cloudviews

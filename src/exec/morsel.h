@@ -1,0 +1,44 @@
+#ifndef CLOUDVIEWS_EXEC_MORSEL_H_
+#define CLOUDVIEWS_EXEC_MORSEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/batch.h"
+
+namespace cloudviews {
+
+/// \brief The unit of data flow between physical operators: an ordered
+/// sequence of row chunks.
+///
+/// Concatenated in order, the morsels of a set are exactly the operator's
+/// output batch; the decomposition depends only on the data and
+/// `ExecOptions::morsel_rows`, never on the worker count, so every
+/// schedule produces identical results.
+using MorselSet = std::vector<Batch>;
+
+size_t MorselRowCount(const MorselSet& morsels);
+int64_t MorselByteSize(const MorselSet& morsels);
+
+/// One planned morsel: rows [begin, end) of source batch `batch`.
+struct MorselSlice {
+  size_t batch = 0;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Cuts a sequence of batches into morsels of at most `morsel_rows` rows;
+/// empty batches yield no slices.
+std::vector<MorselSlice> PlanMorselSlices(const std::vector<Batch>& batches,
+                                          size_t morsel_rows);
+
+/// Copies rows [begin, end) of src into a fresh batch (bulk column copy).
+Batch MaterializeSlice(const Batch& src, size_t begin, size_t end);
+
+/// Splits one batch into a morsel set; a batch already within the limit is
+/// moved through without copying.
+MorselSet ChunkBatch(Batch data, size_t morsel_rows);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXEC_MORSEL_H_

@@ -1,0 +1,1058 @@
+#include "exec/physical_operator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/guid.h"
+#include "exec/batch_ops.h"
+#include "exec/processor_registry.h"
+#include "expr/aggregate.h"
+
+namespace cloudviews {
+
+namespace {
+
+/// Reference to one row of a morsel set.
+struct RowRef {
+  uint32_t morsel = 0;
+  uint32_t row = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Extract / ViewRead: storage scans re-chunked into morsels. Slices are
+// planned sequentially in Open; materializing each slice is the parallel
+// morsel work.
+// ---------------------------------------------------------------------------
+
+class ExtractOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    auto* extract = static_cast<ExtractNode*>(node_);
+    CV_ASSIGN_OR_RETURN(stream_,
+                        ctx.exec->storage->OpenStream(extract->stream_name()));
+    if (!(stream_->schema == extract->output_schema())) {
+      return Status::TypeError("stream '" + extract->stream_name() +
+                               "' schema does not match EXTRACT declaration");
+    }
+    slices_ = PlanMorselSlices(stream_->batches, ctx.morsel_rows);
+    out_.resize(slices_.size());
+    return Status::OK();
+  }
+
+  size_t NumMorsels(size_t) const override { return slices_.size(); }
+
+  Status ProcessMorsel(OperatorContext&, size_t, size_t m) override {
+    const MorselSlice& s = slices_[m];
+    out_[m] = MaterializeSlice(stream_->batches[s.batch], s.begin, s.end);
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext&) override {
+    return std::move(out_);
+  }
+
+ private:
+  StreamHandle stream_;
+  std::vector<MorselSlice> slices_;
+  MorselSet out_;
+};
+
+class ViewReadOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    auto* view = static_cast<ViewReadNode*>(node_);
+    CV_ASSIGN_OR_RETURN(stream_,
+                        ctx.exec->storage->OpenStream(view->view_path()));
+    // The view's partitions are each sorted per its design; the node
+    // advertises that order, so restore it globally across partitions
+    // (the k-way merge a distributed reader performs).
+    need_sort_ = stream_->props.sort_order.IsSorted() &&
+                 stream_->batches.size() > 1;
+    if (!need_sort_) {
+      slices_ = PlanMorselSlices(stream_->batches, ctx.morsel_rows);
+      out_.resize(slices_.size());
+    }
+    return Status::OK();
+  }
+
+  size_t NumMorsels(size_t) const override { return slices_.size(); }
+
+  Status ProcessMorsel(OperatorContext&, size_t, size_t m) override {
+    const MorselSlice& s = slices_[m];
+    out_[m] = MaterializeSlice(stream_->batches[s.batch], s.begin, s.end);
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext& ctx) override {
+    if (!need_sort_) return std::move(out_);
+    Batch combined = CombineBatches(stream_->schema, stream_->batches);
+    return ChunkBatch(SortBatch(combined, stream_->props.sort_order.keys),
+                      ctx.morsel_rows);
+  }
+
+ private:
+  StreamHandle stream_;
+  bool need_sort_ = false;
+  std::vector<MorselSlice> slices_;
+  MorselSet out_;
+};
+
+// ---------------------------------------------------------------------------
+// Filter / Project: embarrassingly parallel per morsel; outputs keep the
+// input morsel order, so concatenation equals the single-threaded result.
+// ---------------------------------------------------------------------------
+
+class FilterOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    out_.resize(inputs_[0].size());
+    return Status::OK();
+  }
+
+  size_t NumMorsels(size_t) const override { return inputs_[0].size(); }
+
+  Status ProcessMorsel(OperatorContext&, size_t, size_t m) override {
+    auto* filter = static_cast<FilterNode*>(node_);
+    const Batch& in = inputs_[0][m];
+    Column pred(DataType::kBool);
+    CV_RETURN_NOT_OK(filter->predicate()->Evaluate(in, &pred));
+    Batch out(in.schema());
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      if (!pred.IsNull(r) && pred.bool_data()[r] != 0) {
+        out.AppendRowFrom(in, r);
+      }
+    }
+    out_[m] = std::move(out);
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext&) override {
+    MorselSet result;
+    for (auto& m : out_) {
+      if (m.num_rows() > 0) result.push_back(std::move(m));
+    }
+    return result;
+  }
+
+ private:
+  MorselSet out_;
+};
+
+class ProjectOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    out_.resize(inputs_[0].size());
+    return Status::OK();
+  }
+
+  size_t NumMorsels(size_t) const override { return inputs_[0].size(); }
+
+  Status ProcessMorsel(OperatorContext&, size_t, size_t m) override {
+    auto* project = static_cast<ProjectNode*>(node_);
+    const Batch& in = inputs_[0][m];
+    Batch out(node_->output_schema());
+    for (size_t e = 0; e < project->exprs().size(); ++e) {
+      Column col(node_->output_schema().field(e).type);
+      CV_RETURN_NOT_OK(project->exprs()[e].expr->Evaluate(in, &col));
+      out.column(e) = std::move(col);
+    }
+    out_[m] = std::move(out);
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext&) override {
+    MorselSet result;
+    for (auto& m : out_) {
+      if (m.num_rows() > 0) result.push_back(std::move(m));
+    }
+    return result;
+  }
+
+ private:
+  MorselSet out_;
+};
+
+// ---------------------------------------------------------------------------
+// Join. Hash join: phase 0 hashes build-side keys per morsel (parallel),
+// the build table is then filled in right-row order (sequential, so match
+// lists keep the single-threaded order), phase 1 probes left morsels in
+// parallel. Merge join stays sequential in Close.
+// ---------------------------------------------------------------------------
+
+class JoinOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    auto* join = static_cast<JoinNode*>(node_);
+    CV_ASSIGN_OR_RETURN(lcols_,
+                        ResolveColumns(InputSchema(0), join->LeftKeys()));
+    CV_ASSIGN_OR_RETURN(rcols_,
+                        ResolveColumns(InputSchema(1), join->RightKeys()));
+    merge_ = join->algorithm() == JoinAlgorithm::kMerge;
+    if (merge_) {
+      if (join->join_type() != JoinType::kInner) {
+        return Status::Unimplemented("merge join supports INNER only");
+      }
+    } else {
+      right_keys_.resize(inputs_[1].size());
+      probe_out_.resize(inputs_[0].size());
+    }
+    return Status::OK();
+  }
+
+  size_t num_phases() const override { return merge_ ? 1 : 2; }
+
+  size_t NumMorsels(size_t phase) const override {
+    if (merge_) return 0;
+    return phase == 0 ? inputs_[1].size() : inputs_[0].size();
+  }
+
+  Status PreparePhase(OperatorContext&, size_t phase) override {
+    if (merge_ || phase != 1) return Status::OK();
+    size_t total = 0;
+    for (const auto& keys : right_keys_) total += keys.size();
+    table_.reserve(total);
+    for (size_t m = 0; m < right_keys_.size(); ++m) {
+      for (size_t r = 0; r < right_keys_[m].size(); ++r) {
+        table_[right_keys_[m][r]].push_back(
+            {static_cast<uint32_t>(m), static_cast<uint32_t>(r)});
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ProcessMorsel(OperatorContext&, size_t phase, size_t m) override {
+    if (phase == 0) {
+      const Batch& right = inputs_[1][m];
+      std::vector<Hash128> keys;
+      keys.reserve(right.num_rows());
+      for (size_t r = 0; r < right.num_rows(); ++r) {
+        keys.push_back(RowKey(right, r, rcols_));
+      }
+      right_keys_[m] = std::move(keys);
+      return Status::OK();
+    }
+    auto* join = static_cast<JoinNode*>(node_);
+    const Batch& left = inputs_[0][m];
+    Batch out(node_->output_schema());
+    auto emit = [&](size_t lr, const RowRef& ref) {
+      const Batch& right = inputs_[1][ref.morsel];
+      size_t c = 0;
+      for (size_t i = 0; i < left.num_columns(); ++i, ++c) {
+        out.column(c).AppendFrom(left.column(i), lr);
+      }
+      for (size_t i = 0; i < right.num_columns(); ++i, ++c) {
+        out.column(c).AppendFrom(right.column(i), ref.row);
+      }
+    };
+    auto emit_left_only = [&](size_t lr) {
+      size_t c = 0;
+      for (size_t i = 0; i < left.num_columns(); ++i, ++c) {
+        out.column(c).AppendFrom(left.column(i), lr);
+      }
+      for (size_t i = c; i < out.num_columns(); ++i) {
+        out.column(i).AppendNull();
+      }
+    };
+    for (size_t l = 0; l < left.num_rows(); ++l) {
+      auto it = table_.find(RowKey(left, l, lcols_));
+      if (it != table_.end()) {
+        for (const RowRef& ref : it->second) emit(l, ref);
+      } else if (join->join_type() == JoinType::kLeftOuter) {
+        emit_left_only(l);
+      }
+    }
+    probe_out_[m] = std::move(out);
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext& ctx) override {
+    if (!merge_) {
+      MorselSet result;
+      for (auto& m : probe_out_) {
+        if (m.num_rows() > 0) result.push_back(std::move(m));
+      }
+      return result;
+    }
+    // Merge join over inputs sorted on the keys (enforced by the
+    // optimizer); kept sequential.
+    Batch left = CombineBatches(InputSchema(0), inputs_[0]);
+    Batch right = CombineBatches(InputSchema(1), inputs_[1]);
+    Batch out(node_->output_schema());
+    auto emit = [&](size_t lr, size_t rr) {
+      size_t c = 0;
+      for (size_t i = 0; i < left.num_columns(); ++i, ++c) {
+        out.column(c).AppendFrom(left.column(i), lr);
+      }
+      for (size_t i = 0; i < right.num_columns(); ++i, ++c) {
+        out.column(c).AppendFrom(right.column(i), rr);
+      }
+    };
+    auto key_cmp = [&](size_t lr, size_t rr) {
+      return CompareRowsOnColumns(left, lr, lcols_, right, rr, rcols_);
+    };
+    size_t li = 0, ri = 0;
+    while (li < left.num_rows() && ri < right.num_rows()) {
+      int cmp = key_cmp(li, ri);
+      if (cmp < 0) {
+        ++li;
+      } else if (cmp > 0) {
+        ++ri;
+      } else {
+        // Duplicate groups on both sides.
+        size_t lend = li + 1;
+        while (lend < left.num_rows() && key_cmp(lend, ri) == 0) ++lend;
+        size_t rend = ri + 1;
+        while (rend < right.num_rows() && key_cmp(li, rend) == 0) ++rend;
+        for (size_t a = li; a < lend; ++a) {
+          for (size_t b = ri; b < rend; ++b) emit(a, b);
+        }
+        li = lend;
+        ri = rend;
+      }
+    }
+    return ChunkBatch(std::move(out), ctx.morsel_rows);
+  }
+
+ private:
+  std::vector<int> lcols_;
+  std::vector<int> rcols_;
+  bool merge_ = false;
+  std::vector<std::vector<Hash128>> right_keys_;
+  std::unordered_map<Hash128, std::vector<RowRef>, Hash128Hasher> table_;
+  MorselSet probe_out_;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregate. The parallel phase only *precomputes*: argument columns, key
+// hashes, per-morsel group discovery, sort-boundary flags. Close then
+// updates the accumulator states in exact global row order, so every sum
+// (including floating point) is bit-identical to the single-threaded
+// engine, and the group output order is the global first-occurrence order.
+// ---------------------------------------------------------------------------
+
+class AggregateOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    agg_ = static_cast<AggregateNode*>(node_);
+    if (agg_->group_keys().empty()) {
+      mode_ = Mode::kGlobal;
+    } else {
+      CV_ASSIGN_OR_RETURN(gcols_,
+                          ResolveColumns(InputSchema(0), agg_->group_keys()));
+      mode_ = agg_->algorithm() == AggAlgorithm::kStream ? Mode::kStream
+                                                         : Mode::kHash;
+    }
+    pre_.resize(inputs_[0].size());
+    return Status::OK();
+  }
+
+  size_t NumMorsels(size_t) const override { return inputs_[0].size(); }
+
+  Status ProcessMorsel(OperatorContext&, size_t, size_t m) override {
+    const Batch& in = inputs_[0][m];
+    MorselPre& pre = pre_[m];
+    // Pre-evaluate aggregate arguments over this morsel.
+    for (const auto& spec : agg_->aggregates()) {
+      if (spec.arg) {
+        Column col(spec.arg->output_type());
+        CV_RETURN_NOT_OK(spec.arg->Evaluate(in, &col));
+        pre.arg_cols.push_back(std::move(col));
+      } else {
+        pre.arg_cols.emplace_back(DataType::kInt64);  // placeholder
+      }
+    }
+    if (mode_ == Mode::kHash) {
+      pre.local_id.resize(in.num_rows());
+      std::unordered_map<Hash128, uint32_t, Hash128Hasher> index;
+      index.reserve(in.num_rows());
+      for (size_t r = 0; r < in.num_rows(); ++r) {
+        Hash128 key = RowKey(in, r, gcols_);
+        auto [it, inserted] =
+            index.emplace(key, static_cast<uint32_t>(pre.local_groups.size()));
+        if (inserted) {
+          pre.local_groups.push_back({key, static_cast<uint32_t>(r)});
+        }
+        pre.local_id[r] = it->second;
+      }
+    } else if (mode_ == Mode::kStream) {
+      // Row r starts a new group iff it differs from row r-1; the r == 0
+      // flag is resolved against the previous morsel's last row in Close.
+      pre.new_group.resize(in.num_rows());
+      for (size_t r = 1; r < in.num_rows(); ++r) {
+        pre.new_group[r] =
+            CompareRowsOnColumns(in, r - 1, gcols_, in, r, gcols_) != 0;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext&) override {
+    struct Group {
+      size_t morsel;
+      size_t row;  // first occurrence: representative for the key columns
+      std::vector<AggState> states;
+    };
+    auto make_states = [&]() {
+      std::vector<AggState> states;
+      for (const auto& spec : agg_->aggregates()) {
+        states.emplace_back(spec.func);
+      }
+      return states;
+    };
+    auto update = [&](Group* g, size_t m, size_t r) {
+      for (size_t a = 0; a < agg_->aggregates().size(); ++a) {
+        if (agg_->aggregates()[a].arg) {
+          g->states[a].Update(pre_[m].arg_cols[a].GetValue(r));
+        } else {
+          g->states[a].UpdateCountStar();
+        }
+      }
+    };
+
+    const MorselSet& in = inputs_[0];
+    std::vector<Group> groups;
+    switch (mode_) {
+      case Mode::kGlobal: {
+        groups.push_back({0, 0, make_states()});
+        for (size_t m = 0; m < in.size(); ++m) {
+          for (size_t r = 0; r < in[m].num_rows(); ++r) {
+            update(&groups[0], m, r);
+          }
+        }
+        break;
+      }
+      case Mode::kHash: {
+        std::unordered_map<Hash128, size_t, Hash128Hasher> index;
+        for (size_t m = 0; m < in.size(); ++m) {
+          const MorselPre& pre = pre_[m];
+          // Map this morsel's local groups to global ids; new keys keep
+          // their local first-occurrence order, which is the global one.
+          std::vector<size_t> local_to_global(pre.local_groups.size());
+          for (size_t j = 0; j < pre.local_groups.size(); ++j) {
+            auto [it, inserted] =
+                index.emplace(pre.local_groups[j].first, groups.size());
+            if (inserted) {
+              groups.push_back(
+                  {m, static_cast<size_t>(pre.local_groups[j].second),
+                   make_states()});
+            }
+            local_to_global[j] = it->second;
+          }
+          for (size_t r = 0; r < in[m].num_rows(); ++r) {
+            update(&groups[local_to_global[pre.local_id[r]]], m, r);
+          }
+        }
+        break;
+      }
+      case Mode::kStream: {
+        bool have_prev = false;
+        size_t pm = 0, pr = 0;
+        for (size_t m = 0; m < in.size(); ++m) {
+          for (size_t r = 0; r < in[m].num_rows(); ++r) {
+            bool starts_group;
+            if (r == 0) {
+              starts_group = !have_prev ||
+                             CompareRowsOnColumns(in[pm], pr, gcols_, in[m],
+                                                  r, gcols_) != 0;
+            } else {
+              starts_group = pre_[m].new_group[r] != 0;
+            }
+            if (starts_group) groups.push_back({m, r, make_states()});
+            update(&groups.back(), m, r);
+            have_prev = true;
+            pm = m;
+            pr = r;
+          }
+        }
+        break;
+      }
+    }
+
+    Batch out(node_->output_schema());
+    // Empty input with group keys yields no rows; without keys it yields
+    // the single global group (already created above).
+    for (const auto& g : groups) {
+      size_t c = 0;
+      for (int gc : gcols_) {
+        out.column(c++).AppendFrom(
+            in[g.morsel].column(static_cast<size_t>(gc)), g.row);
+      }
+      for (size_t a = 0; a < agg_->aggregates().size(); ++a) {
+        out.column(c).AppendValue(
+            g.states[a].Finish(node_->output_schema().field(c).type));
+        ++c;
+      }
+    }
+    MorselSet result;
+    if (out.num_rows() > 0) result.push_back(std::move(out));
+    return result;
+  }
+
+ private:
+  enum class Mode { kGlobal, kHash, kStream };
+  struct MorselPre {
+    std::vector<Column> arg_cols;
+    std::vector<uint32_t> local_id;
+    std::vector<std::pair<Hash128, uint32_t>> local_groups;
+    std::vector<uint8_t> new_group;
+  };
+
+  AggregateNode* agg_ = nullptr;
+  Mode mode_ = Mode::kGlobal;
+  std::vector<int> gcols_;
+  std::vector<MorselPre> pre_;
+};
+
+// ---------------------------------------------------------------------------
+// Sort. Phase 0 stable-sorts every morsel in parallel; the sorted runs are
+// then merged sequentially with ties broken by morsel index — exactly the
+// permutation std::stable_sort produces on the concatenated input — and
+// phase 1 gathers the output chunks in parallel.
+// ---------------------------------------------------------------------------
+
+class SortOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    auto* sort = static_cast<SortNode*>(node_);
+    keys_ = ResolveSortKeys(InputSchema(0), sort->keys());
+    orders_.resize(inputs_[0].size());
+    return Status::OK();
+  }
+
+  size_t num_phases() const override { return 2; }
+
+  size_t NumMorsels(size_t phase) const override {
+    return phase == 0 ? inputs_[0].size() : chunks_;
+  }
+
+  Status PreparePhase(OperatorContext& ctx, size_t phase) override {
+    if (phase != 1) return Status::OK();
+    const MorselSet& in = inputs_[0];
+    size_t total = MorselRowCount(in);
+    global_.reserve(total);
+    if (in.size() == 1) {
+      for (size_t r : orders_[0]) {
+        global_.push_back({0, static_cast<uint32_t>(r)});
+      }
+    } else if (in.size() > 1) {
+      // K-way merge of the sorted runs; on equal keys the lower morsel
+      // index wins, preserving stability.
+      struct Cursor {
+        size_t morsel;
+        size_t pos;
+      };
+      auto after = [&](const Cursor& a, const Cursor& b) {
+        int cmp = CompareRowsSorted(in[a.morsel], orders_[a.morsel][a.pos],
+                                    in[b.morsel], orders_[b.morsel][b.pos],
+                                    keys_);
+        if (cmp != 0) return cmp > 0;
+        return a.morsel > b.morsel;
+      };
+      std::priority_queue<Cursor, std::vector<Cursor>, decltype(after)> heap(
+          after);
+      for (size_t m = 0; m < in.size(); ++m) {
+        if (!orders_[m].empty()) heap.push({m, 0});
+      }
+      while (!heap.empty()) {
+        Cursor c = heap.top();
+        heap.pop();
+        global_.push_back({static_cast<uint32_t>(c.morsel),
+                           static_cast<uint32_t>(orders_[c.morsel][c.pos])});
+        if (++c.pos < orders_[c.morsel].size()) heap.push(c);
+      }
+    }
+    chunks_ = (total + ctx.morsel_rows - 1) / ctx.morsel_rows;
+    out_.resize(chunks_);
+    return Status::OK();
+  }
+
+  Status ProcessMorsel(OperatorContext& ctx, size_t phase,
+                       size_t m) override {
+    if (phase == 0) {
+      orders_[m] = StableSortOrder(inputs_[0][m], keys_);
+      return Status::OK();
+    }
+    Batch out(InputSchema(0));
+    size_t begin = m * ctx.morsel_rows;
+    size_t end = std::min(begin + ctx.morsel_rows, global_.size());
+    for (size_t i = begin; i < end; ++i) {
+      out.AppendRowFrom(inputs_[0][global_[i].morsel], global_[i].row);
+    }
+    out_[m] = std::move(out);
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext&) override {
+    return std::move(out_);
+  }
+
+ private:
+  ResolvedSortKeys keys_;
+  std::vector<std::vector<size_t>> orders_;
+  std::vector<RowRef> global_;
+  size_t chunks_ = 0;
+  MorselSet out_;
+};
+
+// ---------------------------------------------------------------------------
+// Exchange. Hash partitioning hashes rows per morsel in parallel, then each
+// partition gathers its rows — in global row order — in parallel across
+// partitions; the output is the partitions concatenated in partition order,
+// matching PartitionBatch + CombineBatches.
+// ---------------------------------------------------------------------------
+
+class ExchangeOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    auto* exchange = static_cast<ExchangeNode*>(node_);
+    const Partitioning& p = exchange->partitioning();
+    scheme_ = p.scheme;
+    count_ = p.partition_count > 0 ? static_cast<size_t>(p.partition_count)
+                                   : 1;
+    switch (scheme_) {
+      case PartitionScheme::kAny:
+      case PartitionScheme::kSingleton:
+      case PartitionScheme::kRange:
+        break;
+      case PartitionScheme::kHash: {
+        CV_ASSIGN_OR_RETURN(cols_, ResolveColumns(InputSchema(0), p.columns));
+        pids_.resize(inputs_[0].size());
+        parts_.resize(count_);
+        break;
+      }
+      case PartitionScheme::kRoundRobin: {
+        offsets_.resize(inputs_[0].size());
+        size_t off = 0;
+        for (size_t m = 0; m < inputs_[0].size(); ++m) {
+          offsets_[m] = off;
+          off += inputs_[0][m].num_rows();
+        }
+        parts_.resize(count_);
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t num_phases() const override {
+    return scheme_ == PartitionScheme::kHash ? 2 : 1;
+  }
+
+  size_t NumMorsels(size_t phase) const override {
+    switch (scheme_) {
+      case PartitionScheme::kHash:
+        return phase == 0 ? inputs_[0].size() : count_;
+      case PartitionScheme::kRoundRobin:
+        return count_;
+      default:
+        return 0;
+    }
+  }
+
+  Status ProcessMorsel(OperatorContext&, size_t phase, size_t m) override {
+    if (scheme_ == PartitionScheme::kHash && phase == 0) {
+      const Batch& in = inputs_[0][m];
+      std::vector<uint32_t> pids(in.num_rows());
+      for (size_t r = 0; r < in.num_rows(); ++r) {
+        pids[r] = static_cast<uint32_t>(RowKey(in, r, cols_).lo %
+                                        static_cast<uint64_t>(count_));
+      }
+      pids_[m] = std::move(pids);
+      return Status::OK();
+    }
+    // Gather partition m's rows in global row order.
+    Batch out(InputSchema(0));
+    for (size_t mi = 0; mi < inputs_[0].size(); ++mi) {
+      const Batch& in = inputs_[0][mi];
+      for (size_t r = 0; r < in.num_rows(); ++r) {
+        size_t pid = scheme_ == PartitionScheme::kHash
+                         ? pids_[mi][r]
+                         : (offsets_[mi] + r) % count_;
+        if (pid == m) out.AppendRowFrom(in, r);
+      }
+    }
+    parts_[m] = std::move(out);
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext& ctx) override {
+    switch (scheme_) {
+      case PartitionScheme::kAny:
+      case PartitionScheme::kSingleton:
+        return std::move(inputs_[0]);
+      case PartitionScheme::kRange: {
+        // Approximate range partitioning cuts the sorted input into equal
+        // runs; concatenated back, that is exactly the sorted input.
+        auto* exchange = static_cast<ExchangeNode*>(node_);
+        std::vector<SortKey> keys;
+        for (const auto& c : exchange->partitioning().columns) {
+          keys.push_back({c, true});
+        }
+        Batch combined = CombineBatches(InputSchema(0), inputs_[0]);
+        return ChunkBatch(SortBatch(combined, keys), ctx.morsel_rows);
+      }
+      default: {
+        MorselSet result;
+        for (auto& p : parts_) {
+          if (p.num_rows() > 0) result.push_back(std::move(p));
+        }
+        return result;
+      }
+    }
+  }
+
+ private:
+  PartitionScheme scheme_ = PartitionScheme::kAny;
+  size_t count_ = 1;
+  std::vector<int> cols_;
+  std::vector<std::vector<uint32_t>> pids_;
+  std::vector<size_t> offsets_;
+  MorselSet parts_;
+};
+
+// ---------------------------------------------------------------------------
+// UnionAll / Top: pure morsel plumbing.
+// ---------------------------------------------------------------------------
+
+class UnionAllOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Result<MorselSet> Close(OperatorContext&) override {
+    MorselSet result;
+    for (auto& child : inputs_) {
+      for (auto& m : child) {
+        if (m.num_rows() > 0) result.push_back(std::move(m));
+      }
+    }
+    return result;
+  }
+};
+
+class TopOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Result<MorselSet> Close(OperatorContext&) override {
+    auto* top = static_cast<TopNode*>(node_);
+    size_t remaining = std::min<size_t>(static_cast<size_t>(top->limit()),
+                                        MorselRowCount(inputs_[0]));
+    MorselSet result;
+    for (auto& m : inputs_[0]) {
+      if (remaining == 0) break;
+      if (m.num_rows() <= remaining) {
+        remaining -= m.num_rows();
+        result.push_back(std::move(m));
+      } else {
+        result.push_back(MaterializeSlice(m, 0, remaining));
+        remaining = 0;
+      }
+    }
+    return result;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Process: the UDO consumes the whole input at once (it may be stateful
+// across rows), so the call itself stays sequential; only re-chunking the
+// output is morselized.
+// ---------------------------------------------------------------------------
+
+class ProcessOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    auto* process = static_cast<ProcessNode*>(node_);
+    CV_ASSIGN_OR_RETURN(fn_,
+                        ProcessorRegistry::Global()->Lookup(
+                            process->processor()));
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext& ctx) override {
+    auto* process = static_cast<ProcessNode*>(node_);
+    Batch in = CombineBatches(InputSchema(0), inputs_[0]);
+    Batch result;
+    CV_RETURN_NOT_OK((*fn_)(in, &result));
+    if (!(result.schema() == node_->output_schema())) {
+      return Status::TypeError("processor '" + process->processor() +
+                               "' produced schema [" +
+                               result.schema().ToString() + "], declared [" +
+                               node_->output_schema().ToString() + "]");
+    }
+    return ChunkBatch(std::move(result), ctx.morsel_rows);
+  }
+
+ private:
+  const ProcessorFn* fn_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Reduce: group boundaries on the (sorted) input are detected per morsel in
+// parallel; groups are then packed into morsel-sized ranges and the
+// group-wise UDO runs range-parallel, with outputs concatenated in group
+// order. Registered reducers must be pure functions of their input group.
+// ---------------------------------------------------------------------------
+
+class ReduceOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
+    CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
+    auto* reduce = static_cast<ReduceNode*>(node_);
+    CV_ASSIGN_OR_RETURN(kcols_, ResolveColumns(InputSchema(0),
+                                               reduce->keys()));
+    CV_ASSIGN_OR_RETURN(
+        fn_, ProcessorRegistry::Global()->Lookup(reduce->processor()));
+    boundary_.resize(inputs_[0].size());
+    return Status::OK();
+  }
+
+  size_t num_phases() const override { return 2; }
+
+  size_t NumMorsels(size_t phase) const override {
+    return phase == 0 ? inputs_[0].size() : tasks_.size();
+  }
+
+  Status PreparePhase(OperatorContext& ctx, size_t phase) override {
+    if (phase != 1) return Status::OK();
+    const MorselSet& in = inputs_[0];
+    // Stitch per-morsel boundary flags into global group ranges.
+    offsets_.resize(in.size());
+    size_t off = 0;
+    bool have_prev = false;
+    size_t pm = 0, pr = 0;
+    for (size_t m = 0; m < in.size(); ++m) {
+      offsets_[m] = off;
+      for (size_t r = 0; r < in[m].num_rows(); ++r) {
+        bool starts_group;
+        if (r == 0) {
+          starts_group = !have_prev ||
+                         CompareRowsOnColumns(in[pm], pr, kcols_, in[m], r,
+                                              kcols_) != 0;
+        } else {
+          starts_group = boundary_[m][r] != 0;
+        }
+        if (starts_group) {
+          if (!groups_.empty()) groups_.back().second = off + r;
+          groups_.push_back({off + r, 0});
+        }
+        have_prev = true;
+        pm = m;
+        pr = r;
+      }
+      off += in[m].num_rows();
+    }
+    if (!groups_.empty()) groups_.back().second = off;
+    // Pack consecutive groups into roughly morsel-sized UDO tasks.
+    size_t begin = 0;
+    while (begin < groups_.size()) {
+      size_t end = begin;
+      size_t rows = 0;
+      while (end < groups_.size() && rows < ctx.morsel_rows) {
+        rows += groups_[end].second - groups_[end].first;
+        ++end;
+      }
+      tasks_.push_back({begin, end});
+      begin = end;
+    }
+    out_.resize(tasks_.size());
+    return Status::OK();
+  }
+
+  Status ProcessMorsel(OperatorContext&, size_t phase, size_t t) override {
+    if (phase == 0) {
+      const Batch& in = inputs_[0][t];
+      std::vector<uint8_t> flags(in.num_rows());
+      for (size_t r = 1; r < in.num_rows(); ++r) {
+        flags[r] =
+            CompareRowsOnColumns(in, r - 1, kcols_, in, r, kcols_) != 0;
+      }
+      boundary_[t] = std::move(flags);
+      return Status::OK();
+    }
+    auto* reduce = static_cast<ReduceNode*>(node_);
+    Batch out(node_->output_schema());
+    for (size_t g = tasks_[t].first; g < tasks_[t].second; ++g) {
+      Batch group = GatherGlobalRows(groups_[g].first, groups_[g].second);
+      Batch result;
+      CV_RETURN_NOT_OK((*fn_)(group, &result));
+      if (!(result.schema() == node_->output_schema())) {
+        return Status::TypeError("reducer '" + reduce->processor() +
+                                 "' produced schema [" +
+                                 result.schema().ToString() +
+                                 "], declared [" +
+                                 node_->output_schema().ToString() + "]");
+      }
+      out.AppendRowsFrom(result, 0, result.num_rows());
+    }
+    out_[t] = std::move(out);
+    return Status::OK();
+  }
+
+  Result<MorselSet> Close(OperatorContext&) override {
+    MorselSet result;
+    for (auto& m : out_) {
+      if (m.num_rows() > 0) result.push_back(std::move(m));
+    }
+    return result;
+  }
+
+ private:
+  /// Materializes global rows [begin, end) — contiguous across morsels.
+  Batch GatherGlobalRows(size_t begin, size_t end) const {
+    const MorselSet& in = inputs_[0];
+    Batch out(InputSchema(0));
+    for (size_t m = 0; m < in.size() && begin < end; ++m) {
+      size_t m_end = offsets_[m] + in[m].num_rows();
+      if (begin >= m_end) continue;
+      size_t local_begin = begin - offsets_[m];
+      size_t local_end = std::min(end, m_end) - offsets_[m];
+      out.AppendRowsFrom(in[m], local_begin, local_end);
+      begin = offsets_[m] + local_end;
+    }
+    return out;
+  }
+
+  std::vector<int> kcols_;
+  const ProcessorFn* fn_ = nullptr;
+  std::vector<std::vector<uint8_t>> boundary_;
+  std::vector<size_t> offsets_;
+  std::vector<std::pair<size_t, size_t>> groups_;  // global [begin, end)
+  std::vector<std::pair<size_t, size_t>> tasks_;   // group index ranges
+  MorselSet out_;
+};
+
+// ---------------------------------------------------------------------------
+// Spool / Output: storage writers, sequential by nature; the job's data
+// passes through as the unchanged input morsels.
+// ---------------------------------------------------------------------------
+
+class SpoolOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Result<MorselSet> Close(OperatorContext& ctx) override {
+    auto* spool = static_cast<SpoolNode*>(node_);
+    Batch in = CombineBatches(InputSchema(0), inputs_[0]);
+    // Enforce the mined physical design on the stored copy.
+    Batch designed = in;
+    if (spool->design().sort_order.IsSorted()) {
+      designed = SortBatch(designed, spool->design().sort_order.keys);
+    }
+    std::vector<Batch> stored;
+    if (spool->design().partitioning.IsSpecified()) {
+      CV_ASSIGN_OR_RETURN(
+          stored, PartitionBatch(designed, spool->design().partitioning));
+      // Partitioning loses the global sort; re-sort each partition.
+      if (spool->design().sort_order.IsSorted()) {
+        for (auto& p : stored) {
+          p = SortBatch(p, spool->design().sort_order.keys);
+        }
+      }
+    } else {
+      stored.push_back(std::move(designed));
+    }
+    LogicalTime now = ctx.exec->storage->clock()->Now();
+    LogicalTime expiry = spool->lifetime_seconds() > 0
+                             ? now + spool->lifetime_seconds()
+                             : ctx.exec->view_expiry;
+    StreamData view = MakeStreamData(spool->view_path(), GenerateGuid(),
+                                     in.schema(), std::move(stored), now,
+                                     expiry, spool->design());
+    CV_RETURN_NOT_OK(ctx.exec->storage->WriteStream(view));
+    // Early materialization: publish before the job finishes (Sec 6.4).
+    if (ctx.exec->on_view_materialized) {
+      ctx.exec->on_view_materialized(*spool, view);
+    }
+    return std::move(inputs_[0]);
+  }
+};
+
+class OutputOperator : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  Result<MorselSet> Close(OperatorContext& ctx) override {
+    auto* output = static_cast<OutputNode*>(node_);
+    Batch in = CombineBatches(InputSchema(0), inputs_[0]);
+    // Record the physical layout the enforced design produced, so that
+    // downstream consumer jobs (and the analyzer) see it.
+    StreamData data = MakeStreamData(
+        output->stream_name(), GenerateGuid(), in.schema(), {in},
+        ctx.exec->storage->clock()->Now(), /*expires_at=*/0,
+        node_->children()[0]->Delivered());
+    CV_RETURN_NOT_OK(ctx.exec->storage->WriteStream(std::move(data)));
+    return std::move(inputs_[0]);
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PhysicalOperator>> MakePhysicalOperator(
+    PlanNode* node) {
+  switch (node->kind()) {
+    case OpKind::kExtract:
+      return std::unique_ptr<PhysicalOperator>(new ExtractOperator(node));
+    case OpKind::kViewRead:
+      return std::unique_ptr<PhysicalOperator>(new ViewReadOperator(node));
+    case OpKind::kFilter:
+      return std::unique_ptr<PhysicalOperator>(new FilterOperator(node));
+    case OpKind::kProject:
+      return std::unique_ptr<PhysicalOperator>(new ProjectOperator(node));
+    case OpKind::kJoin:
+      return std::unique_ptr<PhysicalOperator>(new JoinOperator(node));
+    case OpKind::kAggregate:
+      return std::unique_ptr<PhysicalOperator>(new AggregateOperator(node));
+    case OpKind::kSort:
+      return std::unique_ptr<PhysicalOperator>(new SortOperator(node));
+    case OpKind::kExchange:
+      return std::unique_ptr<PhysicalOperator>(new ExchangeOperator(node));
+    case OpKind::kUnionAll:
+      return std::unique_ptr<PhysicalOperator>(new UnionAllOperator(node));
+    case OpKind::kProcess:
+      return std::unique_ptr<PhysicalOperator>(new ProcessOperator(node));
+    case OpKind::kTop:
+      return std::unique_ptr<PhysicalOperator>(new TopOperator(node));
+    case OpKind::kSpool:
+      return std::unique_ptr<PhysicalOperator>(new SpoolOperator(node));
+    case OpKind::kReduce:
+      return std::unique_ptr<PhysicalOperator>(new ReduceOperator(node));
+    case OpKind::kOutput:
+      return std::unique_ptr<PhysicalOperator>(new OutputOperator(node));
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+}  // namespace cloudviews

@@ -4,6 +4,17 @@
 
 namespace cloudviews {
 
+ThreadPool* JobService::ExecutionPool(const ExecOptions& opts) {
+  if (opts.worker_threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    // The submitting thread helps while it waits (TaskGroup::Wait), so
+    // worker_threads - 1 pool workers give worker_threads total threads.
+    pool_ = std::make_unique<ThreadPool>(opts.worker_threads - 1);
+  }
+  return pool_.get();
+}
+
 std::vector<std::string> JobService::DefaultTags(const JobDefinition& def) {
   std::vector<std::string> tags;
   tags.push_back("template:" + def.template_id);
@@ -48,6 +59,8 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   ExecContext exec_ctx;
   exec_ctx.storage = storage_;
   exec_ctx.job_id = result.job_id;
+  exec_ctx.options = options.exec.value_or(exec_options_);
+  exec_ctx.pool = ExecutionPool(exec_ctx.options);
   if (metadata_ != nullptr) {
     exec_ctx.on_view_materialized = [this, &result](const SpoolNode& spool,
                                                     const StreamData& view) {
@@ -143,6 +156,8 @@ Result<int> JobService::MaterializeOfflineViews(const JobDefinition& def) {
     ExecContext exec_ctx;
     exec_ctx.storage = storage_;
     exec_ctx.job_id = job_id;
+    exec_ctx.options = exec_options_;
+    exec_ctx.pool = ExecutionPool(exec_ctx.options);
     exec_ctx.on_view_materialized = [this, job_id](const SpoolNode& node,
                                                    const StreamData& view) {
       MaterializedViewInfo info;

@@ -2,10 +2,15 @@
 #define CLOUDVIEWS_RUNTIME_JOB_SERVICE_H_
 
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "exec/exec_options.h"
 #include "exec/executor.h"
 #include "metadata/metadata_service.h"
 #include "optimizer/optimizer.h"
@@ -53,6 +58,10 @@ struct JobServiceOptions {
   /// Use the repository's observed statistics during optimization; ablation
   /// knob for the feedback loop (Sec 5.1).
   bool use_feedback_statistics = true;
+  /// Per-submission override of the service-wide execution options (worker
+  /// threads, morsel size); unset uses the options the service was built
+  /// with.
+  std::optional<ExecOptions> exec;
 };
 
 /// \brief The always-online job service: compile (with metadata lookup and
@@ -65,12 +74,14 @@ class JobService {
  public:
   JobService(SimulatedClock* clock, StorageManager* storage,
              MetadataService* metadata, WorkloadRepository* repository,
-             OptimizerConfig optimizer_config = {})
+             OptimizerConfig optimizer_config = {},
+             ExecOptions exec_options = {})
       : clock_(clock),
         storage_(storage),
         metadata_(metadata),
         repository_(repository),
-        optimizer_(optimizer_config) {}
+        optimizer_(optimizer_config),
+        exec_options_(exec_options) {}
 
   Result<JobResult> SubmitJob(const JobDefinition& def,
                               const JobServiceOptions& options = {});
@@ -94,12 +105,21 @@ class JobService {
   static std::vector<std::string> DefaultTags(const JobDefinition& def);
 
  private:
+  /// Returns the shared worker pool for a job running with `opts`, creating
+  /// it on first use; null when the job runs single-threaded. The pool is
+  /// shared by every concurrently running job, mirroring the shared
+  /// execution slots of the cluster.
+  ThreadPool* ExecutionPool(const ExecOptions& opts);
+
   SimulatedClock* clock_;
   StorageManager* storage_;
   MetadataService* metadata_;  // may be null (CloudViews unavailable)
   WorkloadRepository* repository_;
   Optimizer optimizer_;
+  ExecOptions exec_options_;
   std::atomic<uint64_t> next_job_id_{1};
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created, guarded by pool_mu_
 };
 
 }  // namespace cloudviews

@@ -112,6 +112,39 @@ void Column::AppendFrom(const Column& other, size_t i) {
   }
 }
 
+void Column::AppendRangeFrom(const Column& other, size_t begin, size_t end) {
+  assert(other.type_ == type_);
+  assert(begin <= end && end <= other.size());
+  if (begin >= end) return;
+  size_t old_size = size();
+  std::visit(
+      [&](auto& dst) {
+        using Vec = std::remove_reference_t<decltype(dst)>;
+        const Vec& src = std::get<Vec>(other.data_);
+        dst.insert(dst.end(),
+                   src.begin() + static_cast<ptrdiff_t>(begin),
+                   src.begin() + static_cast<ptrdiff_t>(end));
+      },
+      data_);
+  bool range_has_nulls = false;
+  if (!other.validity_.empty()) {
+    for (size_t i = begin; i < end; ++i) {
+      if (other.validity_[i] == 0) {
+        range_has_nulls = true;
+        break;
+      }
+    }
+  }
+  if (range_has_nulls) {
+    if (validity_.empty()) validity_.assign(old_size, 1);
+    validity_.insert(validity_.end(),
+                     other.validity_.begin() + static_cast<ptrdiff_t>(begin),
+                     other.validity_.begin() + static_cast<ptrdiff_t>(end));
+  } else if (!validity_.empty()) {
+    validity_.insert(validity_.end(), end - begin, 1);
+  }
+}
+
 bool Column::HasNulls() const {
   for (uint8_t v : validity_) {
     if (v == 0) return true;
@@ -185,6 +218,13 @@ void Batch::AppendRowFrom(const Batch& other, size_t i) {
   assert(other.num_columns() == num_columns());
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c].AppendFrom(other.columns_[c], i);
+  }
+}
+
+void Batch::AppendRowsFrom(const Batch& other, size_t begin, size_t end) {
+  assert(other.num_columns() == num_columns());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendRangeFrom(other.columns_[c], begin, end);
   }
 }
 

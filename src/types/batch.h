@@ -34,6 +34,9 @@ class Column {
   void AppendValue(const Value& v);
   /// Appends row i of other (same type) to this column.
   void AppendFrom(const Column& other, size_t i);
+  /// Appends rows [begin, end) of other (same type) in bulk — the fast path
+  /// morsel splitting and merging rely on.
+  void AppendRangeFrom(const Column& other, size_t begin, size_t end);
 
   bool IsNull(size_t i) const {
     return !validity_.empty() && validity_[i] == 0;
@@ -90,6 +93,9 @@ class Batch {
 
   /// Appends row i of `other` (same schema) to this batch.
   void AppendRowFrom(const Batch& other, size_t i);
+
+  /// Appends rows [begin, end) of `other` (same schema) in bulk.
+  void AppendRowsFrom(const Batch& other, size_t begin, size_t end);
 
   /// Materializes row i (debug / test convenience).
   std::vector<Value> GetRow(size_t i) const;

@@ -454,6 +454,76 @@ TEST_F(ExecTest, OutputRecordsDeliveredLayout) {
   EXPECT_TRUE(handle->props.sort_order.IsSorted());
 }
 
+TEST_F(ExecTest, CombineBatchesHandlesEmptyAndSingleRow) {
+  Schema s({{"x", DataType::kInt64}});
+  EXPECT_EQ(CombineBatches(s, {}).num_rows(), 0u);
+
+  Batch empty(s);
+  Batch one(s);
+  ASSERT_TRUE(one.AppendRow({Value::Int64(7)}).ok());
+  Batch combined = CombineBatches(s, {empty, one, empty});
+  ASSERT_EQ(combined.num_rows(), 1u);
+  EXPECT_EQ(combined.GetRow(0)[0].int64_value(), 7);
+}
+
+TEST_F(ExecTest, CombineBatchesPreservesNulls) {
+  Schema s({{"x", DataType::kInt64}});
+  Batch a(s), b(s);
+  ASSERT_TRUE(a.AppendRow({Value::Int64(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Null(DataType::kInt64)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(3)}).ok());
+  Batch combined = CombineBatches(s, {a, b});
+  ASSERT_EQ(combined.num_rows(), 3u);
+  EXPECT_FALSE(combined.column(0).IsNull(0));
+  EXPECT_TRUE(combined.column(0).IsNull(1));
+  EXPECT_EQ(combined.GetRow(2)[0].int64_value(), 3);
+}
+
+TEST_F(ExecTest, SortBatchEmptyAndSingleRow) {
+  Schema s({{"k", DataType::kInt64}});
+  Batch empty(s);
+  EXPECT_EQ(SortBatch(empty, {{"k", true}}).num_rows(), 0u);
+
+  Batch one(s);
+  ASSERT_TRUE(one.AppendRow({Value::Int64(5)}).ok());
+  Batch sorted = SortBatch(one, {{"k", false}});
+  ASSERT_EQ(sorted.num_rows(), 1u);
+  EXPECT_EQ(sorted.GetRow(0)[0].int64_value(), 5);
+}
+
+TEST_F(ExecTest, SortBatchIsStableOnDuplicateKeys) {
+  Schema s({{"k", DataType::kInt64}, {"seq", DataType::kInt64}});
+  Batch in(s);
+  int64_t keys[] = {1, 0, 1, 0, 1};
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(in.AppendRow({Value::Int64(keys[i]), Value::Int64(i)}).ok());
+  }
+  Batch sorted = SortBatch(in, {{"k", true}});
+  // Equal keys keep their input order.
+  int64_t expected_seq[] = {1, 3, 0, 2, 4};
+  ASSERT_EQ(sorted.num_rows(), 5u);
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(sorted.GetRow(r)[1].int64_value(), expected_seq[r]) << r;
+  }
+}
+
+TEST_F(ExecTest, PartitionBatchHandlesEmptyAndSingleRow) {
+  Schema s({{"k", DataType::kString}});
+  Batch empty(s);
+  auto parts = PartitionBatch(empty, Partitioning::Hash({"k"}, 3));
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 3u);
+  for (const auto& p : *parts) EXPECT_EQ(p.num_rows(), 0u);
+
+  Batch one(s);
+  ASSERT_TRUE(one.AppendRow({Value::String("x")}).ok());
+  auto one_parts = PartitionBatch(one, Partitioning::Hash({"k"}, 3));
+  ASSERT_TRUE(one_parts.ok());
+  size_t total = 0;
+  for (const auto& p : *one_parts) total += p.num_rows();
+  EXPECT_EQ(total, 1u);
+}
+
 TEST_F(ExecTest, UnboundPlanRejected) {
   auto plan = Sales().Build();
   ExecContext ctx;

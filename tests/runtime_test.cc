@@ -175,6 +175,30 @@ TEST_F(RuntimeTest, ConcurrentJobsMaterializeExactlyOnce) {
   EXPECT_EQ(cv_.metadata()->counters().locks_granted, 1u);
 }
 
+TEST_F(RuntimeTest, ConcurrentJobsShareTheWorkerPool) {
+  // Several jobs running at once, each fanning morsel work out onto the
+  // one pool the service owns; exercised under TSan in CI.
+  WriteDay("2018-01-01");
+  std::vector<JobDefinition> defs;
+  for (int i = 0; i < 6; ++i) {
+    defs.push_back(JobB("2018-01-01", "_p" + std::to_string(i)));
+  }
+  JobServiceOptions options;
+  options.exec = ExecOptions{/*worker_threads=*/4, /*morsel_rows=*/128};
+  auto results = cv_.job_service()->SubmitConcurrent(defs, options);
+  ASSERT_EQ(results.size(), defs.size());
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r->run_stats.output_rows, 0);
+  }
+
+  // The parallel runs must agree with a single-threaded run of the same
+  // job, row for row.
+  auto ref = cv_.job_service()->SubmitJob(JobB("2018-01-01", "_serial"));
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->run_stats.output_rows, results[0]->run_stats.output_rows);
+}
+
 TEST_F(RuntimeTest, WorkloadChangeStopsMaterialization) {
   // Sec 6.2: "in case there is a change in query workload ... the view
   // materialization based on the previous workload analysis stops
