@@ -1,7 +1,6 @@
 #ifndef CLOUDVIEWS_COMMON_RESULT_H_
 #define CLOUDVIEWS_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
@@ -12,47 +11,59 @@ namespace cloudviews {
 /// \brief Holds either a value of type T or an error Status.
 ///
 /// A Result is never empty: it is constructed from either a value or a
-/// non-OK Status. Accessing the value of an errored Result aborts in debug
-/// builds (assert), mirroring arrow::Result semantics.
+/// non-OK Status. Accessing the value of an errored Result (or building a
+/// Result from an OK status) prints the status and aborts — in every build
+/// type, so release binaries fail loudly instead of reading a moved-from
+/// variant (mirrors arrow::Result / CHECK semantics; see
+/// tests/result_death_test.cc). Like Status, the class is [[nodiscard]].
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, enables `return value;`).
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor): mirrors absl::StatusOr
 
   /// Constructs from an error status (implicit, enables `return status;`).
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(repr_).ok() &&
-           "Result constructed from OK status");
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor): mirrors absl::StatusOr
+    if (std::get<Status>(repr_).ok()) {
+      internal::AbortWithStatus("Result constructed from OK status",
+                                std::get<Status>(repr_));
+    }
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// Returns OK if a value is held, the error otherwise.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 
-  const T& ValueOrDie() const& {
-    assert(ok());
+  [[nodiscard]] const T& ValueOrDie() const& {
+    DieIfError();
     return std::get<T>(repr_);
   }
-  T& ValueOrDie() & {
-    assert(ok());
+  [[nodiscard]] T& ValueOrDie() & {
+    DieIfError();
     return std::get<T>(repr_);
   }
-  T ValueOrDie() && {
-    assert(ok());
+  [[nodiscard]] T ValueOrDie() && {
+    DieIfError();
     return std::move(std::get<T>(repr_));
   }
 
   /// Shorthand operators mirroring std::optional access.
-  const T& operator*() const& { return ValueOrDie(); }
-  T& operator*() & { return ValueOrDie(); }
+  [[nodiscard]] const T& operator*() const& { return ValueOrDie(); }
+  [[nodiscard]] T& operator*() & { return ValueOrDie(); }
   const T* operator->() const { return &ValueOrDie(); }
   T* operator->() { return &ValueOrDie(); }
 
  private:
+  void DieIfError() const {
+    if (!ok()) {
+      internal::AbortWithStatus("ValueOrDie on errored Result",
+                                std::get<Status>(repr_));
+    }
+  }
+
   std::variant<Status, T> repr_;
 };
 

@@ -1,6 +1,19 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace cloudviews {
+
+namespace internal {
+
+void AbortWithStatus(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 const char* StatusCodeToString(StatusCode code) {
   switch (code) {

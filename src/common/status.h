@@ -33,8 +33,11 @@ const char* StatusCodeToString(StatusCode code);
 /// \brief Outcome of a fallible operation: a code plus an optional message.
 ///
 /// An OK status carries no allocation; error statuses carry a heap-allocated
-/// message. Modeled on the Arrow/RocksDB Status idiom.
-class Status {
+/// message. Modeled on the Arrow/RocksDB Status idiom. The class is
+/// [[nodiscard]]: a call site that drops a returned Status on the floor is a
+/// compile error (silence genuinely-intentional drops with `(void)` plus a
+/// comment saying why the error does not matter).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -88,25 +91,39 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
-  bool ok() const { return state_ == nullptr; }
-  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
-  const std::string& message() const {
+  [[nodiscard]] bool ok() const { return state_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  [[nodiscard]] const std::string& message() const {
     static const std::string kEmpty;
     return state_ ? state_->msg : kEmpty;
   }
 
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
   }
-  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
-  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
-  bool IsAborted() const { return code() == StatusCode::kAborted; }
-  bool IsExpired() const { return code() == StatusCode::kExpired; }
-  bool IsParseError() const { return code() == StatusCode::kParseError; }
-  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  [[nodiscard]] bool IsNotFound() const {
+    return code() == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  [[nodiscard]] bool IsAborted() const {
+    return code() == StatusCode::kAborted;
+  }
+  [[nodiscard]] bool IsExpired() const {
+    return code() == StatusCode::kExpired;
+  }
+  [[nodiscard]] bool IsParseError() const {
+    return code() == StatusCode::kParseError;
+  }
+  [[nodiscard]] bool IsTypeError() const {
+    return code() == StatusCode::kTypeError;
+  }
 
   /// Returns "OK" or "<code name>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   struct State {
@@ -120,6 +137,12 @@ class Status {
 
   std::unique_ptr<State> state_;
 };
+
+namespace internal {
+/// Prints `what` plus the status and calls std::abort. Used by Result's
+/// error-access paths; kept out of line so the hot path stays small.
+[[noreturn]] void AbortWithStatus(const char* what, const Status& status);
+}  // namespace internal
 
 /// Propagates a non-OK Status to the caller.
 #define CV_RETURN_NOT_OK(expr)                  \

@@ -1,0 +1,87 @@
+#ifndef CLOUDVIEWS_COMMON_THREAD_ANNOTATIONS_H_
+#define CLOUDVIEWS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety-analysis annotations (abseil style). Under clang,
+/// `-Wthread-safety` turns locking discipline into compile errors: every
+/// member annotated GUARDED_BY may only be touched while its mutex is
+/// held, and every function annotated REQUIRES/EXCLUDES is checked at
+/// each call site. Under other compilers the macros expand to nothing.
+///
+/// Use together with common/mutex.h, whose Mutex/MutexLock/CondVar types
+/// carry the capability attributes the analysis needs (std::mutex from
+/// libstdc++ is not annotated, so it is invisible to the analysis and
+/// banned by tools/repo_lint outside common/mutex.h).
+
+#if defined(__clang__) && !defined(SWIG)
+#define CV_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CV_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Declares that a class is a lockable capability (e.g. a mutex).
+#define CAPABILITY(x) CV_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY CV_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding the
+/// given mutex.
+#define GUARDED_BY(x) CV_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member may only be
+/// accessed while holding the given mutex (the pointer itself is free).
+#define PT_GUARDED_BY(x) CV_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares lock acquisition ordering between mutexes (deadlock checks).
+#define ACQUIRED_BEFORE(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the given capabilities.
+#define REQUIRES(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and does not release it.
+#define ACQUIRE(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds.
+#define RELEASE(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the given capabilities (the function acquires
+/// them itself; prevents self-deadlock).
+#define EXCLUDES(...) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (teaches the analysis).
+#define ASSERT_CAPABILITY(x) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) CV_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function is deliberately not analyzed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CV_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CLOUDVIEWS_COMMON_THREAD_ANNOTATIONS_H_

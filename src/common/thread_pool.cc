@@ -21,25 +21,25 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::RunOne() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -52,8 +52,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -68,15 +68,15 @@ void TaskGroup::Spawn(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Enqueue([this, fn = std::move(fn)] {
     fn();
     // Decrement and notify under the lock: the waiter may destroy this
     // group the moment it observes pending_ == 0.
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--pending_ == 0) done_cv_.notify_all();
+    MutexLock lock(mu_);
+    if (--pending_ == 0) done_cv_.NotifyAll();
   });
 }
 
@@ -84,16 +84,17 @@ void TaskGroup::Wait() {
   if (pool_ == nullptr) return;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (pending_ == 0) return;
     }
     if (!pool_->RunOne()) {
       // Queue momentarily empty: our remaining tasks are running on other
       // threads. The short timeout re-polls the queue in case a nested
-      // group enqueued more work we could help with.
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait_for(lock, std::chrono::milliseconds(1),
-                        [this] { return pending_ == 0; });
+      // group enqueued more work we could help with; Wait's caller loop
+      // re-checks pending_ after any wakeup.
+      MutexLock lock(mu_);
+      if (pending_ == 0) return;
+      done_cv_.WaitFor(mu_, std::chrono::milliseconds(1));
       if (pending_ == 0) return;
     }
   }

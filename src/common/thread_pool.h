@@ -2,13 +2,13 @@
 #define CLOUDVIEWS_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace cloudviews {
 
@@ -74,17 +74,17 @@ class ThreadPool {
  private:
   friend class TaskGroup;
 
-  void Enqueue(std::function<void()> task);
+  void Enqueue(std::function<void()> task) EXCLUDES(mu_);
   /// Runs one queued task on the calling thread; false if the queue was
   /// empty. Used by waiters to help instead of blocking.
-  bool RunOne();
-  void WorkerLoop();
+  bool RunOne() EXCLUDES(mu_);
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  bool shutdown_ = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// \brief A fork/join scope over pool tasks.
@@ -99,17 +99,17 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  void Spawn(std::function<void()> fn);
+  void Spawn(std::function<void()> fn) EXCLUDES(mu_);
 
   /// Blocks until every spawned task finished; the calling thread executes
   /// queued pool tasks while it waits.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  size_t pending_ = 0;  // guarded by mu_
+  Mutex mu_;
+  CondVar done_cv_;
+  size_t pending_ GUARDED_BY(mu_) = 0;
 };
 
 /// Runs fn(0..n-1); morsel indices are distributed over the pool (inline

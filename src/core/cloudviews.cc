@@ -21,7 +21,7 @@ Result<JobResult> CloudViews::Submit(const JobDefinition& def,
   options.enable_cloudviews = enable_cloudviews;
   auto result = job_service_->SubmitJob(def, options);
   if (result.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++jobs_since_analysis_;
     if (result->views_reused > 0 || result->views_materialized > 0) {
       ++view_hits_since_analysis_;
@@ -39,7 +39,7 @@ AnalysisResult CloudViews::RunAnalyzerAndLoad(LogicalTime from,
   CloudViewsAnalyzer analyzer(config_.analyzer);
   AnalysisResult result = analyzer.Analyze(repository_->JobsInWindow(from, to));
   metadata_->LoadAnalysis(result.annotations);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   jobs_since_analysis_ = 0;
   view_hits_since_analysis_ = 0;
   analysis_loaded_ = !result.annotations.empty();
@@ -94,7 +94,7 @@ size_t CloudViews::PurgeExpired() {
 }
 
 bool CloudViews::AnalysisLooksStale(double min_hit_rate) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   if (!analysis_loaded_) return true;
   if (jobs_since_analysis_ < 20) return false;  // not enough evidence yet
   double hit_rate = static_cast<double>(view_hits_since_analysis_) /

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "analyzer/analyzer.h"
+#include "common/mutex.h"
 #include "metadata/metadata_service.h"
 #include "runtime/job_service.h"
 
@@ -44,12 +45,14 @@ class CloudViews {
   /// Submits one job. CloudViews reuse/materialization is on by default;
   /// pass false to run exactly as before (the opt-in flag of Sec 4).
   Result<JobResult> Submit(const JobDefinition& def,
-                           bool enable_cloudviews = true);
+                           bool enable_cloudviews = true)
+      EXCLUDES(stats_mu_);
 
   /// Runs the analyzer over the whole repository (or a window) and loads
   /// the resulting annotations into the metadata service.
-  AnalysisResult RunAnalyzerAndLoad();
-  AnalysisResult RunAnalyzerAndLoad(LogicalTime from, LogicalTime to);
+  AnalysisResult RunAnalyzerAndLoad() EXCLUDES(stats_mu_);
+  AnalysisResult RunAnalyzerAndLoad(LogicalTime from, LogicalTime to)
+      EXCLUDES(stats_mu_);
 
   /// Expires views: metadata entries first, then the backing files
   /// (Sec 5.4); also sweeps any other expired streams.
@@ -69,7 +72,8 @@ class CloudViews {
   /// Change detection heuristic of Sec 7.3: re-analysis is due when the
   /// fraction of recent jobs that materialized or reused views drops below
   /// `min_hit_rate` (the workload changed, signatures stopped matching).
-  bool AnalysisLooksStale(double min_hit_rate = 0.05) const;
+  bool AnalysisLooksStale(double min_hit_rate = 0.05) const
+      EXCLUDES(stats_mu_);
 
  private:
   CloudViewsConfig config_;
@@ -79,10 +83,12 @@ class CloudViews {
   std::unique_ptr<WorkloadRepository> repository_;
   std::unique_ptr<JobService> job_service_;
 
-  mutable std::mutex stats_mu_;
-  uint64_t jobs_since_analysis_ = 0;
-  uint64_t view_hits_since_analysis_ = 0;
-  bool analysis_loaded_ = false;
+  /// Guards the staleness counters fed by Submit and read by
+  /// AnalysisLooksStale (concurrent submissions race on them otherwise).
+  mutable Mutex stats_mu_;
+  uint64_t jobs_since_analysis_ GUARDED_BY(stats_mu_) = 0;
+  uint64_t view_hits_since_analysis_ GUARDED_BY(stats_mu_) = 0;
+  bool analysis_loaded_ GUARDED_BY(stats_mu_) = false;
 };
 
 }  // namespace cloudviews

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "exec/batch_ops.h"
 #include "exec/physical_operator.h"
@@ -90,8 +90,10 @@ struct Executor::ExecState {
   /// Null runs everything inline on the submitting thread.
   ThreadPool* pool = nullptr;
   size_t morsel_rows = 4096;
-  std::mutex mu;  // guards stats
-  JobRunStats* stats = nullptr;
+  Mutex mu;
+  /// Aggregate stats for the whole Execute call; concurrently-finishing
+  /// operators insert their per-operator rows under mu.
+  JobRunStats* stats PT_GUARDED_BY(mu) = nullptr;
 };
 
 Result<JobRunStats> Executor::Execute(const PlanNodePtr& root) {
@@ -204,7 +206,7 @@ Result<MorselSet> Executor::ExecuteNode(PlanNode* node, ExecState* state) {
       std::chrono::duration<double>(end - subtree_start).count();
   op_stats.cpu_seconds = cpu.seconds();
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->stats->operators[node->id()] = op_stats;
   }
   return out;

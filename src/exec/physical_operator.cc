@@ -1024,33 +1024,33 @@ Result<std::unique_ptr<PhysicalOperator>> MakePhysicalOperator(
     PlanNode* node) {
   switch (node->kind()) {
     case OpKind::kExtract:
-      return std::unique_ptr<PhysicalOperator>(new ExtractOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<ExtractOperator>(node));
     case OpKind::kViewRead:
-      return std::unique_ptr<PhysicalOperator>(new ViewReadOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<ViewReadOperator>(node));
     case OpKind::kFilter:
-      return std::unique_ptr<PhysicalOperator>(new FilterOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<FilterOperator>(node));
     case OpKind::kProject:
-      return std::unique_ptr<PhysicalOperator>(new ProjectOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<ProjectOperator>(node));
     case OpKind::kJoin:
-      return std::unique_ptr<PhysicalOperator>(new JoinOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<JoinOperator>(node));
     case OpKind::kAggregate:
-      return std::unique_ptr<PhysicalOperator>(new AggregateOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<AggregateOperator>(node));
     case OpKind::kSort:
-      return std::unique_ptr<PhysicalOperator>(new SortOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<SortOperator>(node));
     case OpKind::kExchange:
-      return std::unique_ptr<PhysicalOperator>(new ExchangeOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<ExchangeOperator>(node));
     case OpKind::kUnionAll:
-      return std::unique_ptr<PhysicalOperator>(new UnionAllOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<UnionAllOperator>(node));
     case OpKind::kProcess:
-      return std::unique_ptr<PhysicalOperator>(new ProcessOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<ProcessOperator>(node));
     case OpKind::kTop:
-      return std::unique_ptr<PhysicalOperator>(new TopOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<TopOperator>(node));
     case OpKind::kSpool:
-      return std::unique_ptr<PhysicalOperator>(new SpoolOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<SpoolOperator>(node));
     case OpKind::kReduce:
-      return std::unique_ptr<PhysicalOperator>(new ReduceOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<ReduceOperator>(node));
     case OpKind::kOutput:
-      return std::unique_ptr<PhysicalOperator>(new OutputOperator(node));
+      return std::unique_ptr<PhysicalOperator>(std::make_unique<OutputOperator>(node));
   }
   return Status::Internal("unknown operator kind");
 }

@@ -5,7 +5,7 @@
 namespace cloudviews {
 
 ProcessorRegistry* ProcessorRegistry::Global() {
-  static ProcessorRegistry* registry = new ProcessorRegistry();
+  static ProcessorRegistry* registry = new ProcessorRegistry();  // NOLINT(naked-new): leaked singleton
   return registry;
 }
 

@@ -32,7 +32,7 @@ void CivilFromValue(const Value& v, int* y, int* m, int* d) {
 }  // namespace
 
 FunctionRegistry* FunctionRegistry::Global() {
-  static FunctionRegistry* registry = new FunctionRegistry();
+  static FunctionRegistry* registry = new FunctionRegistry();  // NOLINT(naked-new): intentionally leaked singleton, immortal by design
   return registry;
 }
 
@@ -202,7 +202,7 @@ FunctionRegistry::FunctionRegistry() {
 }
 
 UdfRegistry* UdfRegistry::Global() {
-  static UdfRegistry* registry = new UdfRegistry();
+  static UdfRegistry* registry = new UdfRegistry();  // NOLINT(naked-new): intentionally leaked singleton, immortal by design
   return registry;
 }
 

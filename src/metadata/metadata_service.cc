@@ -6,7 +6,7 @@ namespace cloudviews {
 
 void MetadataService::LoadAnalysis(
     const std::vector<AnnotatedComputation>& computations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   computations_ = computations;
   tag_index_.clear();
   for (size_t i = 0; i < computations_.size(); ++i) {
@@ -28,7 +28,7 @@ double MetadataService::SimulatedLookupLatency() const {
 
 std::vector<ViewAnnotation> MetadataService::GetRelevantViews(
     const std::vector<std::string>& tags, double* latency_seconds) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++counters_.lookups;
   if (latency_seconds != nullptr) {
     *latency_seconds = SimulatedLookupLatency();
@@ -47,7 +47,7 @@ std::vector<ViewAnnotation> MetadataService::GetRelevantViews(
 
 std::optional<ViewAnnotation> MetadataService::FindAnnotation(
     const Hash128& normalized) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& comp : computations_) {
     if (comp.annotation.normalized_signature == normalized) {
       return comp.annotation;
@@ -58,7 +58,7 @@ std::optional<ViewAnnotation> MetadataService::FindAnnotation(
 
 std::optional<MaterializedViewInfo> MetadataService::FindMaterialized(
     const Hash128& normalized, const Hash128& precise) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = views_.find(precise);
   if (it == views_.end()) return std::nullopt;
   if (!(it->second.info.normalized_signature == normalized)) {
@@ -75,7 +75,7 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
                                          uint64_t job_id,
                                          double expected_build_seconds) {
   (void)normalized;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++counters_.proposals;
   if (views_.count(precise) > 0) {
     ++counters_.locks_denied;
@@ -98,14 +98,14 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
 
 void MetadataService::ReportMaterialized(const MaterializedViewInfo& info,
                                          LogicalTime expires_at) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   views_[info.precise_signature] = RegisteredView{info, expires_at};
   locks_.erase(info.precise_signature);
   ++counters_.views_registered;
 }
 
 void MetadataService::AbandonLock(const Hash128& precise, uint64_t job_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = locks_.find(precise);
   if (it != locks_.end() && it->second.job_id == job_id) {
     locks_.erase(it);
@@ -118,7 +118,7 @@ size_t MetadataService::PurgeExpired() {
   {
     // Clean the metadata first so no job can be handed an expired view,
     // then delete the physical files (Sec 5.4).
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = views_.begin(); it != views_.end();) {
       if (it->second.expires_at != 0 && it->second.expires_at <= now) {
         paths_to_delete.push_back(it->second.info.path);
@@ -130,7 +130,10 @@ size_t MetadataService::PurgeExpired() {
     }
   }
   for (const auto& path : paths_to_delete) {
-    storage_->DeleteStream(path).ok();  // file may already be gone
+    // Intentional drop: the file may already be gone (purged by the
+    // storage manager's own expiry sweep), and the metadata entry is
+    // authoritative either way.
+    (void)storage_->DeleteStream(path);
   }
   return paths_to_delete.size();
 }
@@ -138,7 +141,7 @@ size_t MetadataService::PurgeExpired() {
 Status MetadataService::DropView(const Hash128& precise) {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = views_.find(precise);
     if (it == views_.end()) {
       return Status::NotFound("view not registered");
@@ -150,22 +153,22 @@ Status MetadataService::DropView(const Hash128& precise) {
 }
 
 MetadataService::Counters MetadataService::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 size_t MetadataService::NumRegisteredViews() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return views_.size();
 }
 
 size_t MetadataService::NumAnnotations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return computations_.size();
 }
 
 std::vector<MaterializedViewInfo> MetadataService::ListViews() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MaterializedViewInfo> out;
   out.reserve(views_.size());
   for (const auto& [precise, view] : views_) out.push_back(view.info);

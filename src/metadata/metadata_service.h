@@ -2,13 +2,13 @@
 #define CLOUDVIEWS_METADATA_METADATA_SERVICE_H_
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "optimizer/view_interfaces.h"
 #include "storage/storage_manager.h"
 
@@ -46,7 +46,8 @@ class MetadataService : public ViewCatalogInterface {
 
   /// Installs a new analysis (replacing the previous one), rebuilding the
   /// tag inverted index. Called when the analyzer output is refreshed.
-  void LoadAnalysis(const std::vector<AnnotatedComputation>& computations);
+  void LoadAnalysis(const std::vector<AnnotatedComputation>& computations)
+      EXCLUDES(mu_);
 
   /// Step 1/2 of Fig 9: one request per job returning every annotation
   /// relevant to any of the job's tags (may contain false positives — the
@@ -54,21 +55,23 @@ class MetadataService : public ViewCatalogInterface {
   /// latency through `latency_seconds` when non-null.
   std::vector<ViewAnnotation> GetRelevantViews(
       const std::vector<std::string>& tags,
-      double* latency_seconds = nullptr) const;
+      double* latency_seconds = nullptr) const EXCLUDES(mu_);
 
   /// Looks up the loaded annotation for one computation template (admin
   /// drill-down and eviction use this).
-  std::optional<ViewAnnotation> FindAnnotation(
-      const Hash128& normalized) const;
+  std::optional<ViewAnnotation> FindAnnotation(const Hash128& normalized) const
+      EXCLUDES(mu_);
 
   // --- ViewCatalogInterface (optimizer-facing) -----------------------------
 
   std::optional<MaterializedViewInfo> FindMaterialized(
-      const Hash128& normalized, const Hash128& precise) override;
+      const Hash128& normalized, const Hash128& precise) override
+      EXCLUDES(mu_);
 
   bool ProposeMaterialize(const Hash128& normalized, const Hash128& precise,
                           uint64_t job_id,
-                          double expected_build_seconds) override;
+                          double expected_build_seconds) override
+      EXCLUDES(mu_);
 
   // --- Job-manager-facing ---------------------------------------------------
 
@@ -76,18 +79,18 @@ class MetadataService : public ViewCatalogInterface {
   /// build lock. Invoked on early materialization, i.e. possibly before
   /// the producing job finishes (Sec 6.4).
   void ReportMaterialized(const MaterializedViewInfo& info,
-                          LogicalTime expires_at);
+                          LogicalTime expires_at) EXCLUDES(mu_);
 
   /// Releases a build lock without registering (job failed after
   /// proposing). The lock also auto-expires.
-  void AbandonLock(const Hash128& precise, uint64_t job_id);
+  void AbandonLock(const Hash128& precise, uint64_t job_id) EXCLUDES(mu_);
 
   /// Removes expired views from the metadata *first*, then deletes their
   /// files (Sec 5.4 ordering). Returns the number of views purged.
-  size_t PurgeExpired();
+  size_t PurgeExpired() EXCLUDES(mu_);
 
   /// Drops a view outright (admin reclamation, Sec 5.4).
-  Status DropView(const Hash128& precise);
+  Status DropView(const Hash128& precise) EXCLUDES(mu_);
 
   // --- Introspection ----------------------------------------------------------
 
@@ -99,11 +102,11 @@ class MetadataService : public ViewCatalogInterface {
     uint64_t views_registered = 0;
     uint64_t views_purged = 0;
   };
-  Counters counters() const;
+  Counters counters() const EXCLUDES(mu_);
 
-  size_t NumRegisteredViews() const;
-  size_t NumAnnotations() const;
-  std::vector<MaterializedViewInfo> ListViews() const;
+  size_t NumRegisteredViews() const EXCLUDES(mu_);
+  size_t NumAnnotations() const EXCLUDES(mu_);
+  std::vector<MaterializedViewInfo> ListViews() const EXCLUDES(mu_);
 
   /// Simulated per-request latency under the configured thread count.
   double SimulatedLookupLatency() const;
@@ -122,12 +125,18 @@ class MetadataService : public ViewCatalogInterface {
   StorageManager* storage_;
   MetadataServiceConfig config_;
 
-  mutable std::mutex mu_;
-  std::vector<AnnotatedComputation> computations_;
-  std::unordered_map<std::string, std::set<size_t>> tag_index_;
-  std::unordered_map<Hash128, RegisteredView, Hash128Hasher> views_;
-  std::unordered_map<Hash128, BuildLock, Hash128Hasher> locks_;
-  mutable Counters counters_;
+  /// One service-wide lock: guards the analyzer output + tag inverted
+  /// index, the registered-view map, and the exclusive build locks of
+  /// Sec 6.1/6.4 (build-build and build-use synchronization).
+  mutable Mutex mu_;
+  std::vector<AnnotatedComputation> computations_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::set<size_t>> tag_index_
+      GUARDED_BY(mu_);
+  std::unordered_map<Hash128, RegisteredView, Hash128Hasher> views_
+      GUARDED_BY(mu_);
+  std::unordered_map<Hash128, BuildLock, Hash128Hasher> locks_
+      GUARDED_BY(mu_);
+  mutable Counters counters_ GUARDED_BY(mu_);
 };
 
 }  // namespace cloudviews

@@ -6,7 +6,7 @@ namespace cloudviews {
 
 ThreadPool* JobService::ExecutionPool(const ExecOptions& opts) {
   if (opts.worker_threads <= 1) return nullptr;
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   if (pool_ == nullptr) {
     // The submitting thread helps while it waits (TaskGroup::Wait), so
     // worker_threads - 1 pool workers give worker_threads total threads.

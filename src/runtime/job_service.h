@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "exec/exec_options.h"
@@ -109,7 +109,7 @@ class JobService {
   /// it on first use; null when the job runs single-threaded. The pool is
   /// shared by every concurrently running job, mirroring the shared
   /// execution slots of the cluster.
-  ThreadPool* ExecutionPool(const ExecOptions& opts);
+  ThreadPool* ExecutionPool(const ExecOptions& opts) EXCLUDES(pool_mu_);
 
   SimulatedClock* clock_;
   StorageManager* storage_;
@@ -118,8 +118,8 @@ class JobService {
   Optimizer optimizer_;
   ExecOptions exec_options_;
   std::atomic<uint64_t> next_job_id_{1};
-  std::mutex pool_mu_;
-  std::unique_ptr<ThreadPool> pool_;  // lazily created, guarded by pool_mu_
+  Mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(pool_mu_);  // lazily created
 };
 
 }  // namespace cloudviews

@@ -19,7 +19,7 @@ double SubtreeCpuSeconds(const PlanNode& node, const PlanRuntimeStats& stats) {
 
 void WorkloadRepository::AddJob(JobRecord record) {
   auto shared = std::make_shared<const JobRecord>(std::move(record));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   jobs_.push_back(shared);
 
   if (shared->plan == nullptr) return;
@@ -38,19 +38,19 @@ void WorkloadRepository::AddJob(JobRecord record) {
 }
 
 size_t WorkloadRepository::NumJobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return jobs_.size();
 }
 
 std::vector<std::shared_ptr<const JobRecord>> WorkloadRepository::Jobs()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return jobs_;
 }
 
 std::vector<std::shared_ptr<const JobRecord>>
 WorkloadRepository::JobsInWindow(LogicalTime from, LogicalTime to) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::shared_ptr<const JobRecord>> out;
   for (const auto& j : jobs_) {
     if (j->submit_time >= from && j->submit_time < to) out.push_back(j);
@@ -60,7 +60,7 @@ WorkloadRepository::JobsInWindow(LogicalTime from, LogicalTime to) const {
 
 std::optional<SubgraphObservedStats> WorkloadRepository::Lookup(
     const Hash128& normalized_signature) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = feedback_.find(normalized_signature);
   if (it == feedback_.end()) return std::nullopt;
   const Accumulator& acc = it->second;
@@ -75,7 +75,7 @@ std::optional<SubgraphObservedStats> WorkloadRepository::Lookup(
 }
 
 size_t WorkloadRepository::NumIndexedSubgraphs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return feedback_.size();
 }
 

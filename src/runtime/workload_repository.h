@@ -2,12 +2,12 @@
 #define CLOUDVIEWS_RUNTIME_WORKLOAD_REPOSITORY_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "exec/operator_stats.h"
 #include "optimizer/view_interfaces.h"
 #include "plan/plan_node.h"
@@ -47,21 +47,21 @@ struct JobRecord {
 /// signature so *any* future job with a common subgraph benefits.
 class WorkloadRepository : public StatsProviderInterface {
  public:
-  void AddJob(JobRecord record);
+  void AddJob(JobRecord record) EXCLUDES(mu_);
 
-  size_t NumJobs() const;
+  size_t NumJobs() const EXCLUDES(mu_);
   /// Snapshot of all records (shared pointers; records are immutable once
   /// added).
-  std::vector<std::shared_ptr<const JobRecord>> Jobs() const;
+  std::vector<std::shared_ptr<const JobRecord>> Jobs() const EXCLUDES(mu_);
   std::vector<std::shared_ptr<const JobRecord>> JobsInWindow(
-      LogicalTime from, LogicalTime to) const;
+      LogicalTime from, LogicalTime to) const EXCLUDES(mu_);
 
   // StatsProviderInterface:
   std::optional<SubgraphObservedStats> Lookup(
-      const Hash128& normalized_signature) const override;
+      const Hash128& normalized_signature) const override EXCLUDES(mu_);
 
   /// Number of distinct subgraph templates with observed statistics.
-  size_t NumIndexedSubgraphs() const;
+  size_t NumIndexedSubgraphs() const EXCLUDES(mu_);
 
  private:
   struct Accumulator {
@@ -69,9 +69,13 @@ class WorkloadRepository : public StatsProviderInterface {
     int64_t n = 0;
   };
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<const JobRecord>> jobs_;
-  std::unordered_map<Hash128, Accumulator, Hash128Hasher> feedback_;
+  /// Guards the job history and the feedback index together: AddJob must
+  /// publish a record and its statistics atomically so concurrent Lookup
+  /// calls never see a half-applied observation.
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<const JobRecord>> jobs_ GUARDED_BY(mu_);
+  std::unordered_map<Hash128, Accumulator, Hash128Hasher> feedback_
+      GUARDED_BY(mu_);
 };
 
 /// CPU seconds of the subtree rooted at `node` (pre-order node ids must be

@@ -37,14 +37,14 @@ Status StorageManager::WriteStream(StreamData data) {
     return Status::InvalidArgument("stream name must not be empty");
   }
   auto handle = std::make_shared<StreamData>(std::move(data));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   streams_[handle->name] = std::move(handle);
   return Status::OK();
 }
 
 Result<StreamHandle> StorageManager::OpenStream(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(name);
   if (it == streams_.end()) {
     return Status::NotFound("stream '" + name + "' does not exist");
@@ -53,12 +53,12 @@ Result<StreamHandle> StorageManager::OpenStream(
 }
 
 bool StorageManager::StreamExists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return streams_.count(name) > 0;
 }
 
 Status StorageManager::DeleteStream(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (streams_.erase(name) == 0) {
     return Status::NotFound("stream '" + name + "' does not exist");
   }
@@ -67,7 +67,7 @@ Status StorageManager::DeleteStream(const std::string& name) {
 
 size_t StorageManager::PurgeExpired() {
   LogicalTime now = clock_->Now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t purged = 0;
   for (auto it = streams_.begin(); it != streams_.end();) {
     if (it->second->expires_at != 0 && it->second->expires_at <= now) {
@@ -82,7 +82,7 @@ size_t StorageManager::PurgeExpired() {
 
 std::vector<std::string> StorageManager::ListStreams(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, data] : streams_) {
     if (StartsWith(name, prefix)) out.push_back(name);
@@ -91,14 +91,14 @@ std::vector<std::string> StorageManager::ListStreams(
 }
 
 int64_t StorageManager::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t total = 0;
   for (const auto& [name, data] : streams_) total += data->total_bytes;
   return total;
 }
 
 size_t StorageManager::NumStreams() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return streams_.size();
 }
 

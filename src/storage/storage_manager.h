@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "plan/physical_properties.h"
 #include "types/batch.h"
@@ -46,7 +46,7 @@ std::string EncodeViewPath(const Hash128& normalized,
 
 /// Recovers signature components from a view path; returns false when the
 /// path is not a view path.
-bool ParseViewPath(const std::string& path, Hash128* normalized,
+[[nodiscard]] bool ParseViewPath(const std::string& path, Hash128* normalized,
                    Hash128* precise, uint64_t* producer_job_id);
 
 /// \brief Thread-safe in-memory store of all streams in the simulated
@@ -56,28 +56,31 @@ class StorageManager {
   explicit StorageManager(SimulatedClock* clock) : clock_(clock) {}
 
   /// Writes (or replaces) a stream. Expiry of 0 = never.
-  Status WriteStream(StreamData data);
+  Status WriteStream(StreamData data) EXCLUDES(mu_);
 
-  Result<StreamHandle> OpenStream(const std::string& name) const;
-  bool StreamExists(const std::string& name) const;
-  Status DeleteStream(const std::string& name);
+  Result<StreamHandle> OpenStream(const std::string& name) const
+      EXCLUDES(mu_);
+  [[nodiscard]] bool StreamExists(const std::string& name) const
+      EXCLUDES(mu_);
+  Status DeleteStream(const std::string& name) EXCLUDES(mu_);
 
   /// Deletes streams whose expiry passed; returns the number purged
   /// (Sec 5.4: "our Storage Manager takes care of purging the file once
   /// it expires").
-  size_t PurgeExpired();
+  size_t PurgeExpired() EXCLUDES(mu_);
 
-  std::vector<std::string> ListStreams(const std::string& prefix = "") const;
+  std::vector<std::string> ListStreams(const std::string& prefix = "") const
+      EXCLUDES(mu_);
 
-  int64_t TotalBytes() const;
-  size_t NumStreams() const;
+  int64_t TotalBytes() const EXCLUDES(mu_);
+  size_t NumStreams() const EXCLUDES(mu_);
 
   SimulatedClock* clock() const { return clock_; }
 
  private:
   SimulatedClock* clock_;
-  mutable std::mutex mu_;
-  std::map<std::string, StreamHandle> streams_;
+  mutable Mutex mu_;
+  std::map<std::string, StreamHandle> streams_ GUARDED_BY(mu_);
 };
 
 /// Convenience: assembles a StreamData from batches, computing row/byte

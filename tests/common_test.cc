@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/guid.h"
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/stats.h"
@@ -300,13 +301,13 @@ TEST(ClockTest, AdvanceAndSet) {
 
 TEST(GuidTest, UniqueAcrossCallsAndThreads) {
   std::set<std::string> guids;
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < 100; ++i) {
         std::string g = GenerateGuid();
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         guids.insert(g);
       }
     });

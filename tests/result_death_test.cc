@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cloudviews {
+namespace {
+
+Result<int> Parse(bool ok) {
+  if (ok) return 7;
+  return Status::ParseError("bad token");
+}
+
+// Error-access semantics: touching the value of an errored Result aborts
+// with the underlying status in EVERY build type (the debug assert was
+// promoted to an unconditional abort so release builds fail loudly instead
+// of reading the wrong variant alternative).
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  auto result = Parse(false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_DEATH((void)result.ValueOrDie(), "ValueOrDie on errored Result");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  auto result = Parse(false);
+  EXPECT_DEATH((void)*result, "Parse error: bad token");
+}
+
+TEST(ResultDeathTest, ArrowOnErrorAborts) {
+  Result<std::string> result(Status::NotFound("no stream"));
+  EXPECT_DEATH((void)result->size(), "Not found: no stream");
+}
+
+TEST(ResultDeathTest, MoveAccessOnErrorAborts) {
+  EXPECT_DEATH((void)std::move(Parse(false)).ValueOrDie(),
+               "ValueOrDie on errored Result");
+}
+
+TEST(ResultDeathTest, ConstructedFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int> bad{Status::OK()},
+               "Result constructed from OK status");
+}
+
+// The happy paths stay [[nodiscard]]-clean: every access consumes the
+// value or explicitly voids it.
+
+TEST(ResultDeathTest, OkAccessPathsAreNodiscardClean) {
+  auto result = Parse(true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.ValueOrDie(), 7);
+  EXPECT_EQ(*result, 7);
+  int moved = std::move(result).ValueOrDie();
+  EXPECT_EQ(moved, 7);
+}
+
+TEST(ResultDeathTest, ErrorStatusIsPreserved) {
+  auto result = Parse(false);
+  EXPECT_TRUE(result.status().IsParseError());
+  EXPECT_EQ(result.status().message(), "bad token");
+}
+
+}  // namespace
+}  // namespace cloudviews

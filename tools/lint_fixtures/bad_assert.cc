@@ -1,0 +1,10 @@
+// Fixture: seeded assert-side-effect violations (the mutation disappears
+// in NDEBUG builds).
+#include <cassert>
+
+int ConsumeBudget(int budget) {
+  assert(--budget >= 0);
+  int written = 0;
+  assert((written = budget) >= 0);
+  return budget + written;
+}

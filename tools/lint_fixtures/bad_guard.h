@@ -1,0 +1,8 @@
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+// Fixture: seeded header-guard violation — the guard does not follow the
+// CLOUDVIEWS_<PATH>_H_ convention.
+inline int GuardFixture() { return 1; }
+
+#endif  // WRONG_GUARD_NAME_H

@@ -1,0 +1,6 @@
+// Fixture: seeded naked-new violation.
+struct Widget {
+  int size = 0;
+};
+
+Widget* MakeWidget() { return new Widget(); }

@@ -1,0 +1,5 @@
+// Fixture: seeded nolint-reason violation — a bare NOLINT with neither
+// category nor justification.
+inline int Answer() {
+  return 42;  // NOLINT
+}

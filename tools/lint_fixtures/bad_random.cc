@@ -1,0 +1,11 @@
+// Fixture: seeded banned-random violations (unseeded randomness breaks
+// experiment reproducibility).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int UnseededEntropy() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  return std::rand() + static_cast<int>(rd());
+}

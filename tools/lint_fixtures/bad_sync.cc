@@ -1,0 +1,10 @@
+// Fixture: seeded banned-sync violation (raw std::mutex is invisible to
+// clang's thread-safety analysis).
+#include <mutex>
+
+int CountUnderRawMutex() {
+  static std::mutex mu;
+  static int count = 0;
+  std::lock_guard<std::mutex> lock(mu);
+  return ++count;
+}

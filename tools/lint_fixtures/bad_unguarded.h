@@ -1,0 +1,21 @@
+#ifndef CLOUDVIEWS_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_H_
+#define CLOUDVIEWS_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_H_
+
+// Fixture: seeded mutex-guarded violation — a Mutex member with no
+// GUARDED_BY annotation anywhere in the header.
+#include "common/mutex.h"
+
+namespace cloudviews {
+
+class UnguardedCounter {
+ public:
+  void Increment();
+
+ private:
+  Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_H_

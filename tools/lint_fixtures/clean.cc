@@ -1,0 +1,29 @@
+// Fixture: a source file every rule is happy with, including a
+// reasoned-NOLINT suppression and strings naming banned constructs.
+#include <cassert>
+#include <memory>
+#include <string>
+
+namespace cloudviews_fixture {
+
+struct Widget {
+  int size = 0;
+};
+
+inline std::unique_ptr<Widget> MakeWidget(int size) {
+  assert(size >= 0);
+  auto w = std::make_unique<Widget>();
+  w->size = size;
+  return w;
+}
+
+inline std::string Describe() {
+  return "docs may say std::mutex or new Widget() inside strings";
+}
+
+inline Widget* LeakedRegistry() {
+  static Widget* w = new Widget();  // NOLINT(naked-new): leaked singleton
+  return w;
+}
+
+}  // namespace cloudviews_fixture

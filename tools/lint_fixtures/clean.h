@@ -1,0 +1,23 @@
+#ifndef CLOUDVIEWS_TOOLS_LINT_FIXTURES_CLEAN_H_
+#define CLOUDVIEWS_TOOLS_LINT_FIXTURES_CLEAN_H_
+
+// Fixture: a header every rule is happy with. The comments below mention
+// banned constructs like std::mutex, new data, and time(nullptr) to prove
+// the scanner strips comments before matching.
+#include "common/mutex.h"
+
+namespace cloudviews {
+
+/// Counter guarded the annotated way ("new data" arrives concurrently).
+class GuardedCounter {
+ public:
+  void Increment() EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TOOLS_LINT_FIXTURES_CLEAN_H_

@@ -1,0 +1,27 @@
+// repo_lint: plain-text enforcement of CloudViews repo invariants over
+// src/ + tests/ (see tools/repo_lint_lib.h for the rule list). Runs as a
+// tier-1 ctest; exits non-zero when any rule fires.
+//
+// Usage: repo_lint [<dir>...]   (defaults to src tests in the cwd)
+
+#include <cstdio>
+
+#include "tools/repo_lint_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) roots = {"src", "tests"};
+
+  auto violations = cloudviews::lint::LintTree(roots);
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.path.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "repo_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  std::printf("repo_lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,361 @@
+#include "tools/repo_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cloudviews {
+namespace lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `token` occurs in `text` with no identifier character on either
+/// side (so "srand" does not match "mysrandom").
+bool ContainsToken(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    // Tokens ending in '(' or ')' delimit themselves on that side.
+    if (left_ok && (right_ok || !IsIdentChar(token.back()))) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+bool ContainsAnyToken(const std::string& text,
+                      const std::vector<std::string>& tokens,
+                      std::string* which) {
+  for (const auto& t : tokens) {
+    if (ContainsToken(text, t)) {
+      *which = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A NOLINT *marker* is "NOLINT" opening a comment ("// NOLINT..." or
+/// "/* NOLINT..."); prose that merely mentions NOLINT mid-sentence is not
+/// a marker. A reasoned marker looks like "NOLINT(<category>): <why>" or
+/// at minimum "NOLINT(<non-empty>)". Returns true when a marker (reasoned
+/// or bare) exists; sets `reasoned` accordingly.
+bool FindNolint(const std::string& raw_line, bool* reasoned) {
+  size_t pos = 0;
+  for (;;) {
+    pos = raw_line.find("NOLINT", pos);
+    if (pos == std::string::npos) return false;
+    size_t before = pos;
+    while (before > 0 && (raw_line[before - 1] == ' ' ||
+                          raw_line[before - 1] == '\t')) {
+      --before;
+    }
+    if (before >= 2 && raw_line[before - 2] == '/' &&
+        (raw_line[before - 1] == '/' || raw_line[before - 1] == '*')) {
+      break;  // comment-opening marker
+    }
+    pos += 6;
+  }
+  size_t after = pos + 6;  // strlen("NOLINT")
+  // NOLINTNEXTLINE is treated like NOLINT for the reason requirement.
+  if (raw_line.compare(after, 8, "NEXTLINE") == 0) after += 8;
+  *reasoned = false;
+  if (after < raw_line.size() && raw_line[after] == '(') {
+    size_t close = raw_line.find(')', after);
+    if (close != std::string::npos && close > after + 1) {
+      *reasoned = true;
+    }
+  }
+  return true;
+}
+
+/// True when the assert argument mutates state: ++/-- or an assignment
+/// ('=' that is not part of ==, !=, <=, >=).
+bool HasSideEffect(const std::string& arg) {
+  if (arg.find("++") != std::string::npos) return true;
+  if (arg.find("--") != std::string::npos) return true;
+  for (size_t i = 0; i < arg.size(); ++i) {
+    if (arg[i] != '=') continue;
+    bool cmp_left =
+        i > 0 && (arg[i - 1] == '=' || arg[i - 1] == '!' ||
+                  arg[i - 1] == '<' || arg[i - 1] == '>');
+    bool cmp_right = i + 1 < arg.size() && arg[i + 1] == '=';
+    if (!cmp_left && !cmp_right) return true;  // plain or compound assign
+  }
+  return false;
+}
+
+/// Extracts the balanced-paren argument of the assert starting at the '('
+/// at `open` in `text`; empty optional if unbalanced on this line batch.
+bool BalancedArg(const std::string& text, size_t open, std::string* arg) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        *arg = text.substr(open + 1, i - open - 1);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string ExpectedHeaderGuard(const std::string& rel_path) {
+  std::string p = rel_path;
+  // src/ is the include root, so it does not appear in guards; tests/ and
+  // tools/ do (they are their own include namespaces).
+  if (p.rfind("src/", 0) == 0) p = p.substr(4);
+  std::string guard = "CLOUDVIEWS_";
+  for (char c : p) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+bool PathContains(const std::string& rel_path, const char* needle) {
+  return rel_path.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+std::string SanitizeLine(const std::string& line, bool* in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (*in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        *in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      out += quote;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        ++i;
+      }
+      out += quote;  // keep delimiters so tokens cannot join across them
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::vector<Violation> LintFile(const std::string& display_path,
+                                const std::string& rel_path,
+                                const std::string& content) {
+  std::vector<Violation> out;
+  const bool is_header =
+      rel_path.size() >= 2 && rel_path.rfind(".h") == rel_path.size() - 2;
+  const bool in_random = PathContains(rel_path, "common/random");
+  const bool is_mutex_header = PathContains(rel_path, "common/mutex.h");
+
+  static const std::vector<std::string> kRandomTokens = {
+      "std::rand", "srand", "random_device", "time(nullptr)", "time(NULL)"};
+  static const std::vector<std::string> kSyncTokens = {
+      "std::mutex",       "std::condition_variable", "std::lock_guard",
+      "std::unique_lock", "std::scoped_lock",        "std::shared_mutex",
+      "std::shared_lock", "std::recursive_mutex"};
+
+  std::vector<std::string> raw_lines;
+  {
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) raw_lines.push_back(line);
+  }
+
+  bool in_block_comment = false;
+  bool saw_mutex_member = false;
+  int first_mutex_line = 0;
+  bool saw_guarded_by = false;
+  bool suppress_next_line = false;
+
+  for (size_t idx = 0; idx < raw_lines.size(); ++idx) {
+    const std::string& raw = raw_lines[idx];
+    const int line_no = static_cast<int>(idx) + 1;
+    std::string text = SanitizeLine(raw, &in_block_comment);
+
+    // NOLINT discipline first: a reasoned marker exempts the line from
+    // every other rule; a bare marker is itself a violation (and exempts
+    // nothing).
+    bool reasoned = false;
+    bool suppressed = suppress_next_line;
+    suppress_next_line = false;
+    if (FindNolint(raw, &reasoned)) {
+      if (!reasoned) {
+        out.push_back({display_path, line_no, "nolint-reason",
+                       "NOLINT without a category and reason; write "
+                       "NOLINT(<rule>): <why>"});
+      } else {
+        suppressed = true;
+        if (raw.find("NOLINTNEXTLINE") != std::string::npos) {
+          suppress_next_line = true;
+        }
+      }
+    }
+
+    // Whole-file bookkeeping runs even on suppressed lines.
+    if (text.find("GUARDED_BY") != std::string::npos ||
+        text.find("PT_GUARDED_BY") != std::string::npos) {
+      saw_guarded_by = true;
+    }
+    if (is_header && !is_mutex_header) {
+      // A member declaration like "Mutex mu_;" or "mutable Mutex mu_;".
+      size_t pos = text.find("Mutex ");
+      if (pos != std::string::npos &&
+          (pos == 0 || !IsIdentChar(text[pos == 0 ? 0 : pos - 1]))) {
+        std::string rest = text.substr(pos + 6);
+        size_t j = 0;
+        while (j < rest.size() && IsIdentChar(rest[j])) ++j;
+        size_t k = j;
+        while (k < rest.size() && rest[k] == ' ') ++k;
+        if (j > 0 && k < rest.size() && rest[k] == ';' &&
+            !saw_mutex_member) {
+          saw_mutex_member = true;
+          first_mutex_line = line_no;
+        }
+      }
+    }
+
+    if (suppressed) continue;
+
+    std::string which;
+    if (!in_random && ContainsAnyToken(text, kRandomTokens, &which)) {
+      out.push_back({display_path, line_no, "banned-random",
+                     "'" + which +
+                         "' outside common/random; use cloudviews::Rng so "
+                         "runs stay reproducible"});
+    }
+    if (!is_mutex_header && ContainsAnyToken(text, kSyncTokens, &which)) {
+      out.push_back({display_path, line_no, "banned-sync",
+                     "'" + which +
+                         "' outside common/mutex.h; use the annotated "
+                         "Mutex/MutexLock/CondVar so clang -Wthread-safety "
+                         "can check the locking"});
+    }
+    if (ContainsToken(text, "new")) {
+      // "new" as an expression: skip type-trait-ish uses like "operator new".
+      if (text.find("operator new") == std::string::npos) {
+        out.push_back({display_path, line_no, "naked-new",
+                       "naked 'new'; use std::make_unique/std::make_shared "
+                       "(or NOLINT(naked-new): <why> for an intentional "
+                       "leak)"});
+      }
+    }
+    size_t apos = 0;
+    while ((apos = text.find("assert", apos)) != std::string::npos) {
+      bool word = (apos == 0 || !IsIdentChar(text[apos - 1])) &&
+                  apos + 6 < text.size() && text[apos + 6] == '(';
+      if (word) {
+        // Join up to 3 following lines so multi-line asserts are covered.
+        std::string joined = text;
+        bool bc = in_block_comment;
+        for (size_t extra = 1;
+             extra <= 3 && idx + extra < raw_lines.size(); ++extra) {
+          joined += ' ';
+          joined += SanitizeLine(raw_lines[idx + extra], &bc);
+        }
+        std::string arg;
+        if (BalancedArg(joined, apos + 6, &arg) && HasSideEffect(arg)) {
+          out.push_back({display_path, line_no, "assert-side-effect",
+                         "assert() argument has side effects; it vanishes "
+                         "under NDEBUG"});
+        }
+      }
+      apos += 6;
+    }
+  }
+
+  if (saw_mutex_member && !saw_guarded_by) {
+    out.push_back({display_path, first_mutex_line, "mutex-guarded",
+                   "header declares a Mutex member but annotates nothing "
+                   "with GUARDED_BY; annotate the state the mutex "
+                   "protects"});
+  }
+
+  if (is_header) {
+    std::string guard = ExpectedHeaderGuard(rel_path);
+    if (content.find("#ifndef " + guard) == std::string::npos ||
+        content.find("#define " + guard) == std::string::npos) {
+      out.push_back({display_path, 1, "header-guard",
+                     "expected include guard '" + guard + "'"});
+    }
+  }
+
+  return out;
+}
+
+std::vector<Violation> LintTree(const std::vector<std::string>& roots) {
+  std::vector<Violation> out;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    fs::path root_path(root);
+    std::string prefix = root_path.filename().string();
+    if (prefix.empty()) prefix = root_path.parent_path().filename().string();
+    if (!fs::is_directory(root_path, ec)) {
+      out.push_back({root, 0, "io-error", "not a directory"});
+      continue;
+    }
+    std::vector<fs::path> files;
+    for (fs::recursive_directory_iterator it(root_path, ec), end;
+         it != end; it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      std::string p = it->path().string();
+      if (p.find("lint_fixtures") != std::string::npos) continue;
+      files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        out.push_back({file.string(), 0, "io-error", "unreadable file"});
+        continue;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      std::string rel =
+          prefix + "/" + fs::relative(file, root_path, ec).generic_string();
+      auto violations = LintFile(file.string(), rel, ss.str());
+      out.insert(out.end(), violations.begin(), violations.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace cloudviews

@@ -1,0 +1,59 @@
+#ifndef CLOUDVIEWS_TOOLS_REPO_LINT_LIB_H_
+#define CLOUDVIEWS_TOOLS_REPO_LINT_LIB_H_
+
+#include <string>
+#include <vector>
+
+namespace cloudviews {
+namespace lint {
+
+/// One lint finding: file, 1-based line (0 for whole-file rules), the rule
+/// slug, and a human-readable message.
+struct Violation {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Rules enforced over src/ + tests/ (see DESIGN.md "Correctness tooling"):
+///  banned-random      std::rand / srand / random_device / time(nullptr)
+///                     outside common/random (use cloudviews::Rng)
+///  banned-sync        std::mutex / condition_variable / lock_guard /
+///                     unique_lock / scoped_lock outside common/mutex.h
+///                     (use the annotated Mutex / MutexLock / CondVar)
+///  naked-new          `new` outside a smart-pointer factory
+///                     (use std::make_unique / std::make_shared)
+///  mutex-guarded      a header declaring a Mutex member must annotate the
+///                     state it protects with GUARDED_BY / PT_GUARDED_BY
+///  assert-side-effect assert() whose argument mutates state (vanishes
+///                     under NDEBUG)
+///  header-guard       include guards must be CLOUDVIEWS_<PATH>_H_
+///  nolint-reason      NOLINT must carry a category and reason:
+///                     NOLINT(rule): why
+///
+/// A line carrying a reasoned NOLINT(...) marker is exempt from the other
+/// rules. Comments and string literals are stripped before matching.
+
+/// Lints one file. `rel_path` is the repo-relative path ("src/...",
+/// "tests/...") used for per-path rule exemptions and the expected header
+/// guard; `display_path` is what violations report.
+std::vector<Violation> LintFile(const std::string& display_path,
+                                const std::string& rel_path,
+                                const std::string& content);
+
+/// Recursively lints every .h/.cc/.cpp under each root directory. Paths
+/// inside the roots are made repo-relative by prefixing the root's
+/// basename (passing "/repo/src" yields rel paths "src/...").
+/// Unreadable roots are reported as violations with rule "io-error".
+std::vector<Violation> LintTree(const std::vector<std::string>& roots);
+
+/// Removes //- and /*-comments and the contents of string/char literals
+/// from one line, so lexical rules do not fire on prose. `in_block_comment`
+/// carries /* ... */ state across lines.
+std::string SanitizeLine(const std::string& line, bool* in_block_comment);
+
+}  // namespace lint
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TOOLS_REPO_LINT_LIB_H_

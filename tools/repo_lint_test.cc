@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "tools/repo_lint_lib.h"
+
+namespace cloudviews {
+namespace lint {
+namespace {
+
+// CV_LINT_FIXTURE_DIR is injected by CMake and points at
+// tools/lint_fixtures (files with seeded violations, one per rule, plus a
+// clean pair proving the rules do not over-fire).
+std::string FixturePath(const std::string& name) {
+  return std::string(CV_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Violation> LintFixture(const std::string& name) {
+  return LintFile(name, "tools/lint_fixtures/" + name, ReadFixture(name));
+}
+
+std::set<std::string> Rules(const std::vector<Violation>& violations) {
+  std::set<std::string> rules;
+  for (const auto& v : violations) rules.insert(v.rule);
+  return rules;
+}
+
+TEST(RepoLintTest, BannedRandomFires) {
+  auto violations = LintFixture("bad_random.cc");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"banned-random"});
+  // std::srand, time(nullptr), std::random_device, std::rand + rd() use.
+  EXPECT_GE(violations.size(), 3u);
+}
+
+TEST(RepoLintTest, BannedRandomAllowedInsideCommonRandom) {
+  auto violations = LintFile("random.cc", "src/common/random.cc",
+                             ReadFixture("bad_random.cc"));
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(RepoLintTest, BannedSyncFires) {
+  auto violations = LintFixture("bad_sync.cc");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"banned-sync"});
+  EXPECT_GE(violations.size(), 2u);  // std::mutex and std::lock_guard
+}
+
+TEST(RepoLintTest, NakedNewFires) {
+  auto violations = LintFixture("bad_new.cc");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"naked-new"});
+  EXPECT_EQ(violations.size(), 1u);
+}
+
+TEST(RepoLintTest, UnguardedMutexMemberFires) {
+  auto violations = LintFixture("bad_unguarded.h");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"mutex-guarded"});
+  EXPECT_EQ(violations.size(), 1u);
+}
+
+TEST(RepoLintTest, AssertSideEffectFires) {
+  auto violations = LintFixture("bad_assert.cc");
+  EXPECT_EQ(Rules(violations),
+            std::set<std::string>{"assert-side-effect"});
+  EXPECT_EQ(violations.size(), 2u);  // --budget and written = budget
+}
+
+TEST(RepoLintTest, HeaderGuardFires) {
+  auto violations = LintFixture("bad_guard.h");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"header-guard"});
+}
+
+TEST(RepoLintTest, BareNolintFires) {
+  auto violations = LintFixture("bad_nolint.cc");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"nolint-reason"});
+  EXPECT_EQ(violations.size(), 1u);
+}
+
+TEST(RepoLintTest, CleanFixturesPass) {
+  EXPECT_TRUE(LintFixture("clean.cc").empty());
+  EXPECT_TRUE(LintFixture("clean.h").empty());
+}
+
+TEST(RepoLintTest, SanitizerStripsCommentsAndStrings) {
+  bool in_block = false;
+  EXPECT_EQ(SanitizeLine("int x;  // new std::mutex", &in_block),
+            "int x;  ");
+  EXPECT_EQ(SanitizeLine("auto s = \"new Widget()\";", &in_block),
+            "auto s = \"\";");
+  EXPECT_EQ(SanitizeLine("a /* new */ b", &in_block), "a  b");
+  EXPECT_FALSE(in_block);
+  EXPECT_EQ(SanitizeLine("start /* spans", &in_block), "start ");
+  EXPECT_TRUE(in_block);
+  EXPECT_EQ(SanitizeLine("still hidden new", &in_block), "");
+  EXPECT_EQ(SanitizeLine("done */ int y = 1;", &in_block), " int y = 1;");
+  EXPECT_FALSE(in_block);
+}
+
+TEST(RepoLintTest, ReasonedNolintSuppressesOnlyItsLine) {
+  std::string content =
+      "int* a = new int;  // NOLINT(naked-new): fixture exemption\n"
+      "int* b = new int;\n";
+  auto violations = LintFile("f.cc", "src/f.cc", content);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 2);
+  EXPECT_EQ(violations[0].rule, "naked-new");
+}
+
+TEST(RepoLintTest, HeaderGuardStripsOnlySrcPrefix) {
+  std::string src_header =
+      "#ifndef CLOUDVIEWS_COMMON_FOO_H_\n"
+      "#define CLOUDVIEWS_COMMON_FOO_H_\n"
+      "#endif\n";
+  EXPECT_TRUE(LintFile("foo.h", "src/common/foo.h", src_header).empty());
+  std::string tests_header =
+      "#ifndef CLOUDVIEWS_TESTS_FOO_H_\n"
+      "#define CLOUDVIEWS_TESTS_FOO_H_\n"
+      "#endif\n";
+  EXPECT_TRUE(LintFile("foo.h", "tests/foo.h", tests_header).empty());
+}
+
+TEST(RepoLintTest, LintTreeSkipsFixturesAndFindsNothingSeeded) {
+  // The fixture directory itself is excluded from tree scans, so pointing
+  // LintTree at tools/ only reports real tool sources (which are clean).
+  auto violations = LintTree({std::string(CV_LINT_TOOLS_DIR)});
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.path.find("lint_fixtures"), std::string::npos) << v.path;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace cloudviews
