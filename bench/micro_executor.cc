@@ -3,19 +3,24 @@
 // Besides the google-benchmark operator suite (now parameterized by worker
 // count), main() runs a scan->filter->aggregate thread-scaling sweep over
 // 1/2/4/8 workers, verifies the outputs are byte-identical across worker
-// counts, and writes the measurements to BENCH_executor.json.
+// counts, measures the wall-clock overhead of metrics instrumentation, and
+// writes the measurements (plus the instrumented run's metric registry)
+// to BENCH_executor.json.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "plan/plan_builder.h"
 
 namespace cloudviews {
@@ -52,11 +57,17 @@ struct Env {
   }
 
   double RunPlan(PlanNodePtr plan, ThreadPool* pool = nullptr,
-                 ExecOptions options = {}) {
+                 ExecOptions options = {},
+                 obs::MetricsRegistry* metrics = nullptr) {
     Status st = plan->Bind();
     if (!st.ok()) std::abort();
     AssignNodeIds(plan.get());
-    Executor exec({.storage = &storage, .pool = pool, .options = options});
+    ExecContext ctx;
+    ctx.storage = &storage;
+    ctx.pool = pool;
+    ctx.options = options;
+    ctx.metrics = metrics;
+    Executor exec(std::move(ctx));
     auto r = exec.Execute(plan);
     if (!r.ok()) std::abort();
     return r->output_rows;
@@ -226,11 +237,9 @@ int RunThreadScalingSweep() {
     double best = 1e100;
     std::string out = "sweep_out_w" + std::to_string(workers);
     for (int i = 0; i < kRepeats; ++i) {
-      auto start = std::chrono::steady_clock::now();
+      double start = MonotonicNowSeconds();
       env.RunPlan(make_plan(out), pool.get(), Opts(workers));
-      double s = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
+      double s = MonotonicNowSeconds() - start;
       if (s < best) best = s;
     }
     auto handle = env.storage.OpenStream(out);
@@ -247,6 +256,33 @@ int RunThreadScalingSweep() {
   }
   std::printf("  byte-identical across worker counts: %s\n",
               byte_identical ? "yes" : "NO");
+
+  // Instrumentation overhead: the same pipeline with and without a metrics
+  // registry attached (counters + pool histograms on every morsel). The
+  // acceptance bar for the observability layer is <= 2% wall overhead.
+  obs::MetricsRegistry registry;
+  double plain_best = 1e100;
+  double instrumented_best = 1e100;
+  {
+    constexpr int kOverheadRepeats = 9;
+    for (int i = 0; i < kOverheadRepeats; ++i) {
+      double start = MonotonicNowSeconds();
+      env.RunPlan(make_plan("overhead_plain"), nullptr, Opts(1));
+      plain_best = std::min(plain_best, MonotonicNowSeconds() - start);
+    }
+    for (int i = 0; i < kOverheadRepeats; ++i) {
+      double start = MonotonicNowSeconds();
+      env.RunPlan(make_plan("overhead_instr"), nullptr, Opts(1),
+                  &registry);
+      instrumented_best =
+          std::min(instrumented_best, MonotonicNowSeconds() - start);
+    }
+  }
+  double overhead_fraction = instrumented_best / plain_best - 1.0;
+  std::printf(
+      "  instrumentation overhead: plain=%.2fms instrumented=%.2fms "
+      "(%+.2f%%)\n",
+      plain_best * 1e3, instrumented_best * 1e3, overhead_fraction * 100);
 
   FILE* f = std::fopen("BENCH_executor.json", "w");
   if (f == nullptr) {
@@ -271,7 +307,15 @@ int RunThreadScalingSweep() {
                  sweep.front().best_seconds / sweep[i].best_seconds,
                  i + 1 < sweep.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"instrumentation\": {\"plain_seconds\": %.6f, "
+               "\"instrumented_seconds\": %.6f, \"overhead_fraction\": "
+               "%.4f},\n",
+               plain_best, instrumented_best, overhead_fraction);
+  std::fprintf(f, "  \"metrics\": %s\n",
+               obs::RenderMetricsJson(registry).c_str());
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("  wrote BENCH_executor.json\n");
   return byte_identical ? 0 : 1;

@@ -1,22 +1,95 @@
 // TPC-DS demo: run the 99-query benchmark twice — plain, then with
 // CloudViews reusing the top-10 overlapping computations (the Sec 7.2
-// experiment, at laptop scale).
+// experiment, at laptop scale). Optionally exports the observability
+// artifacts: a Prometheus metrics snapshot plus one JSON profile per
+// CloudViews-pass query.
+//
+//   tpcds_demo [num_queries] [artifact_dir]
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "core/cloudviews.h"
+#include "core/explain.h"
+#include "obs/export.h"
 #include "tpcds/tpcds.h"
 
 using namespace cloudviews;
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out.good()) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// A terse operator-facing readout of the signals ISSUE.md calls out:
+/// pool saturation, metadata hit/miss, build-lock waits, stage latencies.
+void PrintMetricsSummary(obs::MetricsRegistry* m) {
+  std::printf("\nmetrics snapshot\n");
+  std::printf("  jobs: %llu submitted, %llu succeeded, %llu failed\n",
+              static_cast<unsigned long long>(
+                  m->GetCounter("cv_jobs_submitted_total")->value()),
+              static_cast<unsigned long long>(
+                  m->GetCounter("cv_jobs_succeeded_total")->value()),
+              static_cast<unsigned long long>(
+                  m->GetCounter("cv_jobs_failed_total")->value()));
+  std::printf(
+      "  pool 'exec': %.0f threads, %llu tasks, run time %.1fms, "
+      "queue wait %.1fms\n",
+      m->GetGauge("cv_threadpool_threads", {{"pool", "exec"}})->value(),
+      static_cast<unsigned long long>(
+          m->GetCounter("cv_threadpool_tasks_total", {{"pool", "exec"}})
+              ->value()),
+      m->GetHistogram("cv_threadpool_task_run_seconds", {{"pool", "exec"}})
+              ->sum() *
+          1000,
+      m->GetHistogram("cv_threadpool_task_wait_seconds", {{"pool", "exec"}})
+              ->sum() *
+          1000);
+  std::printf(
+      "  metadata: %llu lookups, %llu view hits / %llu misses, "
+      "%llu build locks granted / %llu denied, lock wait %.3fms\n",
+      static_cast<unsigned long long>(
+          m->GetCounter("cv_metadata_lookups_total")->value()),
+      static_cast<unsigned long long>(
+          m->GetCounter("cv_metadata_view_hits_total")->value()),
+      static_cast<unsigned long long>(
+          m->GetCounter("cv_metadata_view_misses_total")->value()),
+      static_cast<unsigned long long>(
+          m->GetCounter("cv_metadata_build_locks_granted_total")->value()),
+      static_cast<unsigned long long>(
+          m->GetCounter("cv_metadata_build_locks_denied_total")->value()),
+      m->GetHistogram("cv_metadata_lock_wait_seconds")->sum() * 1000);
+  for (const char* stage :
+       {"metadata_lookup", "optimize", "execute", "record"}) {
+    obs::Histogram* h =
+        m->GetHistogram("cv_job_stage_seconds", {{"stage", stage}});
+    std::printf("  stage %-15s %6llu obs, total %8.1fms\n", stage,
+                static_cast<unsigned long long>(h->count()),
+                h->sum() * 1000);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   int num_queries = tpcds::kNumQueries;
   if (argc > 1) {
     num_queries = std::min(tpcds::kNumQueries, std::max(1, atoi(argv[1])));
   }
+  std::string artifact_dir = argc > 2 ? argv[2] : "";
 
   CloudViewsConfig config;
   config.analyzer.selection.top_k = 10;
   config.analyzer.selection.min_frequency = 3;
+  config.exec.worker_threads = 2;
   CloudViews cv(config);
 
   std::printf("generating TPC-DS-lite tables...\n");
@@ -51,9 +124,19 @@ int main(int argc, char** argv) {
               analysis.annotations.size(), analysis.subgraphs_mined,
               analysis.jobs_analyzed);
 
+  if (!artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(artifact_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", artifact_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+
   std::printf("\nCloudViews pass...\n");
   double cv_total = 0;
-  int improved = 0, built = 0;
+  int built = 0, reused = 0;
   for (int q = 1; q <= num_queries; ++q) {
     auto r = cv.Submit(tpcds::MakeQueryJob(q), true);
     if (!r.ok()) {
@@ -62,18 +145,35 @@ int main(int argc, char** argv) {
     }
     cv_total += r->run_stats.latency_seconds;
     built += r->views_materialized;
+    reused += r->views_reused;
+    if (!artifact_dir.empty()) {
+      // One machine-readable profile per job: the lifecycle span tree
+      // merged with the per-operator runtime stats.
+      if (!WriteFile(artifact_dir + "/profile_q" + std::to_string(q) +
+                         ".json",
+                     JobProfileJson(*r))) {
+        return 1;
+      }
+    }
   }
 
-  // Per-query comparison needs a second identical baseline-ordered pass;
-  // keep the demo simple and compare totals.
-  improved = 0;
   std::printf("\nresults\n");
   std::printf("  baseline total   %8.1fms\n", baseline_total * 1000);
-  std::printf("  cloudviews total %8.1fms (%d views built)\n",
-              cv_total * 1000, built);
+  std::printf("  cloudviews total %8.1fms (%d views built, %d reused)\n",
+              cv_total * 1000, built, reused);
   std::printf("  total improvement %+.1f%%  (paper: 17%% on the real 1TB "
               "benchmark)\n",
               100.0 * (baseline_total - cv_total) / baseline_total);
-  (void)improved;
+
+  PrintMetricsSummary(cv.metrics());
+
+  if (!artifact_dir.empty()) {
+    if (!WriteFile(artifact_dir + "/metrics.prom",
+                   obs::RenderPrometheus(*cv.metrics()))) {
+      return 1;
+    }
+    std::printf("\nwrote metrics.prom + %d per-job profiles to %s\n",
+                num_queries, artifact_dir.c_str());
+  }
   return 0;
 }

@@ -1,8 +1,9 @@
 #include "analyzer/analyzer.h"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
+
+#include "common/clock.h"
 
 namespace cloudviews {
 
@@ -68,7 +69,7 @@ std::vector<uint64_t> ComputeSubmissionOrder(
 
 AnalysisResult CloudViewsAnalyzer::Analyze(
     const std::vector<std::shared_ptr<const JobRecord>>& jobs) const {
-  auto start = std::chrono::steady_clock::now();
+  double start = MonotonicNowSeconds();
   AnalysisResult result;
   result.jobs_analyzed = jobs.size();
 
@@ -99,9 +100,7 @@ AnalysisResult CloudViewsAnalyzer::Analyze(
   }
   result.submission_order = ComputeSubmissionOrder(selected, jobs);
 
-  result.analysis_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.analysis_seconds = MonotonicNowSeconds() - start;
   return result;
 }
 

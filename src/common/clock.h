@@ -2,6 +2,7 @@
 #define CLOUDVIEWS_COMMON_CLOCK_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 namespace cloudviews {
@@ -33,6 +34,73 @@ class SimulatedClock {
  private:
   std::atomic<LogicalTime> now_;
 };
+
+/// \brief Injectable wall-time source for latency measurement and tracing.
+///
+/// Distinct from SimulatedClock: SimulatedClock is the *logical* timeline
+/// recurring jobs are scheduled on, while MonotonicClock measures real
+/// elapsed seconds (operator latencies, stage durations, span timestamps).
+/// Production code uses Real(); tests inject FakeMonotonicClock so traces
+/// and profiles are byte-deterministic. This header (plus src/obs/) is the
+/// only place allowed to touch std::chrono clocks directly — repo_lint's
+/// banned-clock rule enforces it.
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+
+  /// Monotonic seconds since an arbitrary process-local epoch.
+  virtual double NowSeconds() = 0;
+
+  /// The process-wide steady-clock instance.
+  static MonotonicClock* Real();
+};
+
+/// \brief Manually-advanced monotonic clock for deterministic tests.
+class FakeMonotonicClock final : public MonotonicClock {
+ public:
+  explicit FakeMonotonicClock(double start_seconds = 0)
+      : now_(start_seconds) {}
+
+  double NowSeconds() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceSeconds(double s) {
+    // fetch_add on atomic<double> needs C++20 library support; a CAS loop
+    // keeps this portable across the toolchains CI builds with.
+    double cur = now_.load(std::memory_order_relaxed);
+    while (!now_.compare_exchange_weak(cur, cur + s,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> now_;
+};
+
+namespace internal {
+
+class RealMonotonicClock final : public MonotonicClock {
+ public:
+  double NowSeconds() override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace internal
+
+inline MonotonicClock* MonotonicClock::Real() {
+  static internal::RealMonotonicClock clock;
+  return &clock;
+}
+
+/// Shorthand for MonotonicClock::Real()->NowSeconds(); the drop-in
+/// replacement for ad-hoc steady_clock::now() call sites.
+inline double MonotonicNowSeconds() {
+  return MonotonicClock::Real()->NowSeconds();
+}
 
 }  // namespace cloudviews
 

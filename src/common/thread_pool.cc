@@ -11,8 +11,31 @@ double ThreadCpuSeconds() {
          static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, obs::MetricsRegistry* metrics,
+                       const std::string& name, MonotonicClock* clock)
+    : clock_(clock != nullptr ? clock : MonotonicClock::Real()) {
   if (threads < 1) threads = 1;
+  if (metrics != nullptr) {
+    obs::Labels labels = {{"pool", name}};
+    obs_.threads = metrics->GetGauge("cv_threadpool_threads", labels,
+                                     "Worker threads in the pool");
+    obs_.queue_depth =
+        metrics->GetGauge("cv_threadpool_queue_depth", labels,
+                          "Tasks enqueued but not yet started");
+    obs_.busy_workers =
+        metrics->GetGauge("cv_threadpool_busy_workers", labels,
+                          "Threads currently running a task (saturation "
+                          "when equal to cv_threadpool_threads)");
+    obs_.tasks = metrics->GetCounter("cv_threadpool_tasks_total", labels,
+                                     "Tasks executed");
+    obs_.task_wait = metrics->GetHistogram(
+        "cv_threadpool_task_wait_seconds", labels, {},
+        "Delay between task enqueue and start");
+    obs_.task_run =
+        metrics->GetHistogram("cv_threadpool_task_run_seconds", labels, {},
+                              "Task execution wall time");
+    obs_.threads->Set(threads);
+  }
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -29,28 +52,47 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  if (obs_.task_wait != nullptr) queued.enqueued_at = clock_->NowSeconds();
   {
     MutexLock lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
+  if (obs_.queue_depth != nullptr) obs_.queue_depth->Add(1);
   cv_.NotifyOne();
 }
 
+void ThreadPool::RunTask(QueuedTask task) {
+  if (obs_.tasks == nullptr) {
+    task.fn();
+    return;
+  }
+  double start = clock_->NowSeconds();
+  obs_.task_wait->Observe(start - task.enqueued_at);
+  obs_.busy_workers->Add(1);
+  task.fn();
+  obs_.busy_workers->Add(-1);
+  obs_.task_run->Observe(clock_->NowSeconds() - start);
+  obs_.tasks->Increment();
+}
+
 bool ThreadPool::RunOne() {
-  std::function<void()> task;
+  QueuedTask task;
   {
     MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  if (obs_.queue_depth != nullptr) obs_.queue_depth->Add(-1);
+  RunTask(std::move(task));
   return true;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       MutexLock lock(mu_);
       while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
@@ -58,7 +100,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (obs_.queue_depth != nullptr) obs_.queue_depth->Add(-1);
+    RunTask(std::move(task));
   }
 }
 

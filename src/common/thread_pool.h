@@ -5,10 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/mutex.h"
+#include "obs/metrics.h"
 
 namespace cloudviews {
 
@@ -62,8 +65,15 @@ class ScopedThreadCpuTimer {
 /// fork/join parallelism cannot deadlock on a bounded pool).
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (clamped to at least 1).
-  explicit ThreadPool(int threads);
+  /// Spawns `threads` workers (clamped to at least 1). When `metrics` is
+  /// non-null the pool publishes task throughput, queue depth, saturation
+  /// (busy workers), and task wait/run histograms under
+  /// `cv_threadpool_*{pool=<name>}`; `clock` defaults to the real
+  /// monotonic clock and only matters for the wait/run timings.
+  explicit ThreadPool(int threads,
+                      obs::MetricsRegistry* metrics = nullptr,
+                      const std::string& name = "exec",
+                      MonotonicClock* clock = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -74,15 +84,35 @@ class ThreadPool {
  private:
   friend class TaskGroup;
 
+  struct QueuedTask {
+    std::function<void()> fn;
+    /// Enqueue timestamp (0 when the pool is uninstrumented).
+    double enqueued_at = 0;
+  };
+  /// Instrument handles, all null when the pool is uninstrumented; a null
+  /// check is the entire per-task overhead in that case.
+  struct Instruments {
+    obs::Gauge* threads = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* busy_workers = nullptr;
+    obs::Counter* tasks = nullptr;
+    obs::Histogram* task_wait = nullptr;
+    obs::Histogram* task_run = nullptr;
+  };
+
   void Enqueue(std::function<void()> task) EXCLUDES(mu_);
   /// Runs one queued task on the calling thread; false if the queue was
   /// empty. Used by waiters to help instead of blocking.
   bool RunOne() EXCLUDES(mu_);
   void WorkerLoop() EXCLUDES(mu_);
+  /// Timing + saturation accounting around one dequeued task.
+  void RunTask(QueuedTask task);
 
+  MonotonicClock* clock_;
+  Instruments obs_;
   Mutex mu_;
   CondVar cv_;
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::deque<QueuedTask> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
   bool shutdown_ GUARDED_BY(mu_) = false;
 };

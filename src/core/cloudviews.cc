@@ -5,7 +5,8 @@
 namespace cloudviews {
 
 CloudViews::CloudViews(CloudViewsConfig config)
-    : config_(config), clock_(config.clock_start) {
+    : config_(config), clock_(config.clock_start),
+      tracer_(config.wall_clock) {
   storage_ = std::make_unique<StorageManager>(&clock_);
   metadata_ = std::make_unique<MetadataService>(&clock_, storage_.get(),
                                                 config.metadata);
@@ -13,6 +14,13 @@ CloudViews::CloudViews(CloudViewsConfig config)
   job_service_ = std::make_unique<JobService>(
       &clock_, storage_.get(), metadata_.get(), repository_.get(),
       config.optimizer, config.exec);
+  if (config_.enable_observability) {
+    storage_->SetMetrics(&metrics_);
+    metadata_->SetMetrics(&metrics_, config_.wall_clock);
+    repository_->SetMetrics(&metrics_);
+    job_service_->SetObservability(&metrics_, &tracer_,
+                                   config_.wall_clock);
+  }
 }
 
 Result<JobResult> CloudViews::Submit(const JobDefinition& def,

@@ -6,6 +6,8 @@
 #include "analyzer/analyzer.h"
 #include "common/mutex.h"
 #include "metadata/metadata_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/job_service.h"
 
 namespace cloudviews {
@@ -18,6 +20,13 @@ struct CloudViewsConfig {
   /// shared morsel-driven engine; the default runs single-threaded.
   ExecOptions exec;
   LogicalTime clock_start = 0;
+  /// Wires the owned MetricsRegistry/Tracer through every component
+  /// (storage, metadata, repository, job service, executor, thread pool).
+  /// Off disables all instrumentation — the null-pointer fast paths.
+  bool enable_observability = true;
+  /// Wall-time source for metrics/spans; null uses the real monotonic
+  /// clock. Tests inject a FakeMonotonicClock for deterministic profiles.
+  MonotonicClock* wall_clock = nullptr;
 };
 
 /// \brief The end-to-end CLOUDVIEWS system (Fig 6): an analytics job
@@ -40,6 +49,11 @@ class CloudViews {
   MetadataService* metadata() { return metadata_.get(); }
   WorkloadRepository* repository() { return repository_.get(); }
   JobService* job_service() { return job_service_.get(); }
+  /// System-wide instrument registry (export via obs::RenderPrometheus).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  /// Job lifecycle traces; each Submit leaves one finished trace here (and
+  /// on its JobResult).
+  obs::Tracer* tracer() { return &tracer_; }
   const CloudViewsConfig& config() const { return config_; }
 
   /// Submits one job. CloudViews reuse/materialization is on by default;
@@ -78,6 +92,11 @@ class CloudViews {
  private:
   CloudViewsConfig config_;
   SimulatedClock clock_;
+  /// Declared before the components so instrumented destructors (e.g. the
+  /// job service's thread pool draining its queue) still see live
+  /// instruments.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   std::unique_ptr<StorageManager> storage_;
   std::unique_ptr<MetadataService> metadata_;
   std::unique_ptr<WorkloadRepository> repository_;

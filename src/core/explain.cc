@@ -1,9 +1,90 @@
 #include "core/explain.h"
 
+#include <set>
+
 #include "common/string_util.h"
+#include "obs/export.h"
+#include "obs/json.h"
 #include "storage/storage_manager.h"
 
 namespace cloudviews {
+
+namespace {
+
+void AppendAnalyzedNode(const PlanNode* node, const PlanRuntimeStats& stats,
+                        int depth, std::set<const PlanNode*>* seen,
+                        std::string* out) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  if (!seen->insert(node).second) {
+    *out += StrFormat("%s%s [shared, stats under node %d above]\n",
+                      indent.c_str(), node->Label().c_str(), node->id());
+    return;
+  }
+  auto it = stats.find(node->id());
+  if (it != stats.end()) {
+    const OperatorRuntimeStats& s = it->second;
+    *out += StrFormat(
+        "%s%s  (actual: %.0f rows / %s; excl %.3fms, incl %.3fms, cpu "
+        "%.3fms)\n",
+        indent.c_str(), node->Label().c_str(), s.rows,
+        HumanBytes(s.bytes).c_str(), s.exclusive_seconds * 1000,
+        s.inclusive_seconds * 1000, s.cpu_seconds * 1000);
+  } else {
+    *out += StrFormat("%s%s  (not executed)\n", indent.c_str(),
+                      node->Label().c_str());
+  }
+  for (const auto& child : node->children()) {
+    AppendAnalyzedNode(child.get(), stats, depth + 1, seen, out);
+  }
+}
+
+void AppendSpanLines(const obs::SpanRecord& span, int depth,
+                     std::string* out) {
+  *out += StrFormat("%s%s %.3fms", std::string(depth * 2, ' ').c_str(),
+                    span.name.c_str(),
+                    (span.end_seconds - span.start_seconds) * 1000);
+  for (const auto& [key, value] : span.attributes) {
+    *out += StrFormat(" %s=%s", key.c_str(), value.c_str());
+  }
+  *out += "\n";
+  for (const auto& child : span.children) {
+    AppendSpanLines(*child, depth + 1, out);
+  }
+}
+
+void PlanNodeToJson(const PlanNode* node, const PlanRuntimeStats& stats,
+                    std::set<const PlanNode*>* seen, obs::JsonWriter* w) {
+  w->BeginObject();
+  w->Key("node_id").Int(node->id());
+  w->Key("label").String(node->Label());
+  w->Key("kind").String(OpKindToString(node->kind()));
+  if (!seen->insert(node).second) {
+    // Shared subtree: the stats and children already appear under the
+    // first occurrence of this node_id.
+    w->Key("shared").Bool(true);
+    w->EndObject();
+    return;
+  }
+  auto it = stats.find(node->id());
+  if (it != stats.end()) {
+    const OperatorRuntimeStats& s = it->second;
+    w->Key("rows").Double(s.rows);
+    w->Key("bytes").Double(s.bytes);
+    w->Key("exclusive_seconds").Double(s.exclusive_seconds);
+    w->Key("inclusive_seconds").Double(s.inclusive_seconds);
+    w->Key("cpu_seconds").Double(s.cpu_seconds);
+  }
+  if (!node->children().empty()) {
+    w->Key("children").BeginArray();
+    for (const auto& child : node->children()) {
+      PlanNodeToJson(child.get(), stats, seen, w);
+    }
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+}  // namespace
 
 std::string ExplainJob(const JobResult& result) {
   std::string out;
@@ -58,6 +139,65 @@ std::string ExplainJob(const JobResult& result) {
     if (!line.empty()) out += "    " + line + "\n";
   }
   return out;
+}
+
+std::string ExplainAnalyze(const JobResult& result) {
+  std::string out;
+  out += StrFormat(
+      "EXPLAIN ANALYZE job %llu: latency %.3fms, cpu %.3fms, output %.0f "
+      "rows / %s\n",
+      static_cast<unsigned long long>(result.job_id),
+      result.run_stats.latency_seconds * 1000,
+      result.run_stats.cpu_seconds * 1000, result.run_stats.output_rows,
+      HumanBytes(result.run_stats.output_bytes).c_str());
+  if (result.trace != nullptr) {
+    out += "  lifecycle:\n";
+    std::string spans;
+    AppendSpanLines(*result.trace, 2, &spans);
+    out += spans;
+  }
+  if (result.executed_plan != nullptr) {
+    out += "  plan:\n";
+    std::set<const PlanNode*> seen;
+    AppendAnalyzedNode(result.executed_plan.get(),
+                       result.run_stats.operators, 2, &seen, &out);
+  }
+  return out;
+}
+
+std::string JobProfileJson(const JobResult& result) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("job_id").Uint(result.job_id);
+  w.Key("compile_seconds").Double(result.compile_seconds);
+  w.Key("metadata_lookup_seconds").Double(result.metadata_lookup_seconds);
+  w.Key("estimated_cost").Double(result.estimated_cost);
+  w.Key("views_reused").Int(result.views_reused);
+  w.Key("views_materialized").Int(result.views_materialized);
+  w.Key("reuse_rejected_by_cost").Int(result.reuse_rejected_by_cost);
+  w.Key("materialize_lock_denied").Int(result.materialize_lock_denied);
+  w.Key("run").BeginObject();
+  w.Key("latency_seconds").Double(result.run_stats.latency_seconds);
+  w.Key("cpu_seconds").Double(result.run_stats.cpu_seconds);
+  w.Key("output_rows").Double(result.run_stats.output_rows);
+  w.Key("output_bytes").Double(result.run_stats.output_bytes);
+  w.EndObject();
+  w.Key("trace");
+  if (result.trace != nullptr) {
+    obs::SpanToJson(*result.trace, &w);
+  } else {
+    w.Null();
+  }
+  w.Key("plan");
+  if (result.executed_plan != nullptr) {
+    std::set<const PlanNode*> seen;
+    PlanNodeToJson(result.executed_plan.get(), result.run_stats.operators,
+                   &seen, &w);
+  } else {
+    w.Null();
+  }
+  w.EndObject();
+  return w.Take();
 }
 
 std::string ExplainViewSelection(const AnalysisResult& analysis,

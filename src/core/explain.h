@@ -14,6 +14,17 @@ namespace cloudviews {
 /// lookup cost, and the executed plan itself for replay.
 std::string ExplainJob(const JobResult& result);
 
+/// \brief EXPLAIN ANALYZE-style rendering: the executed plan tree with each
+/// operator's observed rows / bytes / wall / CPU figures inline, plus the
+/// job's lifecycle stage timings when the result carries a trace. Shared
+/// (multi-parent) subtrees render once and are referenced afterwards.
+std::string ExplainAnalyze(const JobResult& result);
+
+/// \brief Machine-readable per-job profile: one JSON document merging the
+/// job's span tree (lifecycle trace) with the per-operator
+/// PlanRuntimeStats, schema documented in docs/job_profile_schema.md.
+std::string JobProfileJson(const JobResult& result);
+
 /// \brief Drill-down into *why* a computation was selected for
 /// materialization (Sec 4 goal 6 / Sec 5.5): frequency, observed runtime,
 /// utility, storage cost, design popularity, lifetime, and the jobs/users

@@ -1,26 +1,19 @@
 #include "exec/executor.h"
 
 #include <algorithm>
-#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "exec/batch_ops.h"
 #include "exec/physical_operator.h"
+#include "obs/metrics.h"
 
 namespace cloudviews {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 Batch CombineBatches(const Schema& schema,
                      const std::vector<Batch>& batches) {
@@ -85,16 +78,65 @@ Result<std::vector<Batch>> PartitionBatch(const Batch& data,
   return Status::Internal("unknown partition scheme");
 }
 
+/// First-execution-wins latch for a plan node reachable through more than
+/// one parent. The first arriving thread runs the node; later arrivals
+/// block on `cv` and copy the memoized result.
+struct Executor::SharedNodeState {
+  Mutex mu;
+  CondVar cv;
+  bool started GUARDED_BY(mu) = false;
+  bool done GUARDED_BY(mu) = false;
+  Status status GUARDED_BY(mu) = Status::OK();
+  MorselSet result GUARDED_BY(mu);
+};
+
 /// Shared (per Execute call) driver state.
 struct Executor::ExecState {
   /// Null runs everything inline on the submitting thread.
   ThreadPool* pool = nullptr;
   size_t morsel_rows = 4096;
+  MonotonicClock* clock = nullptr;
+  /// Executor-wide counters (null when uninstrumented).
+  obs::Counter* morsels = nullptr;
+  obs::Counter* rows = nullptr;
+  obs::Counter* bytes = nullptr;
+  /// One latch per node that appears under multiple parents; populated
+  /// before execution starts, so lookups during execution are lock-free.
+  std::unordered_map<const PlanNode*, std::unique_ptr<SharedNodeState>>
+      shared_nodes;
   Mutex mu;
   /// Aggregate stats for the whole Execute call; concurrently-finishing
   /// operators insert their per-operator rows under mu.
   JobRunStats* stats PT_GUARDED_BY(mu) = nullptr;
 };
+
+namespace {
+
+/// Counts how many distinct parent edges reach each node. Stops descending
+/// on re-visit, so shared subtrees are walked once.
+void CountParentEdges(const PlanNode* node,
+                      std::unordered_map<const PlanNode*, int>* counts) {
+  if (++(*counts)[node] > 1) return;
+  for (const auto& child : node->children()) {
+    CountParentEdges(child.get(), counts);
+  }
+}
+
+/// Collects the multi-parent nodes in post-order (children before
+/// parents), visiting each node once, so pre-execution runs every shared
+/// subtree after the shared subtrees it itself depends on.
+void CollectSharedPostOrder(
+    PlanNode* node, const std::unordered_map<const PlanNode*, int>& counts,
+    std::unordered_set<const PlanNode*>* visited,
+    std::vector<PlanNode*>* out) {
+  if (!visited->insert(node).second) return;
+  for (const auto& child : node->children()) {
+    CollectSharedPostOrder(child.get(), counts, visited, out);
+  }
+  if (counts.at(node) > 1) out->push_back(node);
+}
+
+}  // namespace
 
 Result<JobRunStats> Executor::Execute(const PlanNodePtr& root) {
   if (!root->bound()) {
@@ -108,10 +150,50 @@ Result<JobRunStats> Executor::Execute(const PlanNodePtr& root) {
       ctx_.options.morsel_rows > 0
           ? static_cast<size_t>(ctx_.options.morsel_rows)
           : size_t{1};
+  state.clock = ctx_.clock != nullptr ? ctx_.clock : MonotonicClock::Real();
+  if (ctx_.metrics != nullptr) {
+    state.morsels = ctx_.metrics->GetCounter(
+        "cv_exec_morsels_total", {}, "Morsels processed by all operators");
+    state.rows = ctx_.metrics->GetCounter(
+        "cv_exec_rows_total", {}, "Rows produced by all operators");
+    state.bytes = ctx_.metrics->GetCounter(
+        "cv_exec_bytes_total", {}, "Bytes produced by all operators");
+  }
   state.stats = &stats;
-  auto start = Clock::now();
+
+  // DAG support: any node reachable through more than one parent gets a
+  // run-once latch so its cpu_seconds is attributed exactly once.
+  std::unordered_map<const PlanNode*, int> edge_counts;
+  CountParentEdges(root.get(), &edge_counts);
+  for (const auto& [node, count] : edge_counts) {
+    if (count > 1) {
+      state.shared_nodes.emplace(node,
+                                 std::make_unique<SharedNodeState>());
+    }
+  }
+
+  double start = state.clock->NowSeconds();
+
+  // Shared subtrees run up front, children-first, from the submitting
+  // thread (each still uses the pool internally). By the time the main
+  // walk — or any pool task — reaches one, its latch is already done.
+  // This matters for correctness, not just latency: the help-while-wait
+  // scheduler may lend the thread *executing* a shared node to the other
+  // parent's task, and if that task then blocked on the same latch the
+  // pool would deadlock on its own stack.
+  if (!state.shared_nodes.empty()) {
+    std::unordered_set<const PlanNode*> visited;
+    std::vector<PlanNode*> shared_order;
+    CollectSharedPostOrder(root.get(), edge_counts, &visited,
+                           &shared_order);
+    for (PlanNode* node : shared_order) {
+      auto r = ExecuteNode(node, &state);
+      if (!r.ok()) return r.status();
+    }
+  }
+
   CV_ASSIGN_OR_RETURN(MorselSet result, ExecuteNode(root.get(), &state));
-  stats.latency_seconds = SecondsSince(start);
+  stats.latency_seconds = state.clock->NowSeconds() - start;
   for (const auto& [id, op] : stats.operators) {
     stats.cpu_seconds += op.cpu_seconds;
   }
@@ -121,7 +203,40 @@ Result<JobRunStats> Executor::Execute(const PlanNodePtr& root) {
 }
 
 Result<MorselSet> Executor::ExecuteNode(PlanNode* node, ExecState* state) {
-  auto subtree_start = Clock::now();
+  auto it = state->shared_nodes.find(node);
+  if (it == state->shared_nodes.end()) {
+    return ExecuteNodeImpl(node, state);
+  }
+  SharedNodeState* shared = it->second.get();
+  {
+    MutexLock lock(shared->mu);
+    if (shared->started) {
+      // The subtree already ran (shared nodes are pre-executed before the
+      // main walk, so within one Execute this is always an immediate
+      // memoized read; the wait only spins if a future caller races two
+      // Execute calls over one latch, which per-Execute state precludes).
+      while (!shared->done) shared->cv.Wait(shared->mu);
+      if (!shared->status.ok()) return shared->status;
+      return shared->result;
+    }
+    shared->started = true;
+  }
+  Result<MorselSet> r = ExecuteNodeImpl(node, state);
+  MutexLock lock(shared->mu);
+  if (r.ok()) {
+    shared->result = std::move(r).ValueOrDie();
+  } else {
+    shared->status = r.status();
+  }
+  shared->done = true;
+  shared->cv.NotifyAll();
+  if (!shared->status.ok()) return shared->status;
+  return shared->result;
+}
+
+Result<MorselSet> Executor::ExecuteNodeImpl(PlanNode* node,
+                                            ExecState* state) {
+  double subtree_start = state->clock->NowSeconds();
 
   // Execute children — independent subtrees — concurrently when a pool is
   // available. Error reporting is deterministic: the lowest-index failing
@@ -164,19 +279,21 @@ Result<MorselSet> Executor::ExecuteNode(PlanNode* node, ExecState* state) {
   octx.morsel_rows = state->morsel_rows;
   octx.cpu = &cpu;
 
-  auto own_start = Clock::now();
+  double own_start = state->clock->NowSeconds();
   CV_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalOperator> op,
                       MakePhysicalOperator(node));
   {
     ScopedThreadCpuTimer timer(&cpu);
     CV_RETURN_NOT_OK(op->Open(octx, std::move(inputs)));
   }
+  uint64_t total_morsels = 0;
   for (size_t phase = 0; phase < op->num_phases(); ++phase) {
     {
       ScopedThreadCpuTimer timer(&cpu);
       CV_RETURN_NOT_OK(op->PreparePhase(octx, phase));
     }
     size_t n = op->NumMorsels(phase);
+    total_morsels += n;
     std::vector<Status> morsel_status(n, Status::OK());
     ParallelFor(state->pool, n, [&](size_t m) {
       ScopedThreadCpuTimer timer(&cpu);
@@ -191,20 +308,23 @@ Result<MorselSet> Executor::ExecuteNode(PlanNode* node, ExecState* state) {
     CV_ASSIGN_OR_RETURN(out, op->Close(octx));
   }
 
-  auto end = Clock::now();
+  double end = state->clock->NowSeconds();
   OperatorRuntimeStats op_stats;
   op_stats.node_id = node->id();
   op_stats.kind = node->kind();
   op_stats.rows = static_cast<double>(MorselRowCount(out));
   op_stats.bytes = static_cast<double>(MorselByteSize(out));
-  op_stats.exclusive_seconds =
-      std::chrono::duration<double>(end - own_start).count();
+  op_stats.exclusive_seconds = end - own_start;
   // Wall span of the whole subtree. With parallel children this is the
   // real elapsed time (not the sum of child times), so the invariant
   // job latency >= root inclusive >= any exclusive still holds.
-  op_stats.inclusive_seconds =
-      std::chrono::duration<double>(end - subtree_start).count();
+  op_stats.inclusive_seconds = end - subtree_start;
   op_stats.cpu_seconds = cpu.seconds();
+  if (state->morsels != nullptr) {
+    state->morsels->Increment(total_morsels);
+    state->rows->Increment(static_cast<uint64_t>(op_stats.rows));
+    state->bytes->Increment(static_cast<uint64_t>(op_stats.bytes));
+  }
   {
     MutexLock lock(state->mu);
     state->stats->operators[node->id()] = op_stats;

@@ -13,12 +13,24 @@
 
 namespace cloudviews {
 
+class MonotonicClock;
 class ThreadPool;
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// \brief Per-job execution environment.
 struct ExecContext {
   StorageManager* storage = nullptr;
   uint64_t job_id = 0;
+
+  /// Optional registry for executor counters (morsels, rows, bytes); null
+  /// disables instrumentation entirely.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Wall-time source for latency attribution; null uses the real
+  /// monotonic clock. Injectable so span/latency tests are deterministic.
+  MonotonicClock* clock = nullptr;
 
   /// Shared worker pool (owned by the job service, not by the job); null or
   /// worker_threads <= 1 runs the plan single-threaded on the submitting
@@ -49,6 +61,12 @@ struct ExecContext {
 /// the sum of thread-CPU deltas across every worker that touched the
 /// operator. Results are byte-identical for every worker count and morsel
 /// size. Plans must be bound and have node ids assigned.
+///
+/// Plans may be DAGs: a subtree reachable through more than one parent
+/// (e.g. a rewritten common subexpression feeding two joins) is executed
+/// exactly once and its result shared, so cpu_seconds is never double
+/// counted and per-node stats rows are written once per physical
+/// execution.
 class Executor {
  public:
   explicit Executor(ExecContext ctx) : ctx_(std::move(ctx)) {}
@@ -59,8 +77,13 @@ class Executor {
 
  private:
   struct ExecState;
+  struct SharedNodeState;
 
+  /// Memoizing wrapper: shared (multi-parent) nodes run once, later
+  /// arrivals block until the first execution finishes and reuse its
+  /// result.
   Result<MorselSet> ExecuteNode(PlanNode* node, ExecState* state);
+  Result<MorselSet> ExecuteNodeImpl(PlanNode* node, ExecState* state);
 
   ExecContext ctx_;
 };

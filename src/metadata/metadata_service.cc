@@ -2,7 +2,42 @@
 
 #include <algorithm>
 
+#include "obs/timed_lock.h"
+
 namespace cloudviews {
+
+void MetadataService::SetMetrics(obs::MetricsRegistry* metrics,
+                                 MonotonicClock* wall_clock) {
+  if (metrics == nullptr) return;
+  wall_clock_ = wall_clock != nullptr ? wall_clock : MonotonicClock::Real();
+  obs_.lookups = metrics->GetCounter("cv_metadata_lookups_total", {},
+                                     "Tag-inverted-index lookups (one per "
+                                     "submitted job, Fig 9 step 1)");
+  obs_.hits = metrics->GetCounter(
+      "cv_metadata_view_hits_total", {},
+      "FindMaterialized calls that returned a live view");
+  obs_.misses = metrics->GetCounter(
+      "cv_metadata_view_misses_total", {},
+      "FindMaterialized calls that found no usable view");
+  obs_.locks_granted =
+      metrics->GetCounter("cv_metadata_build_locks_granted_total", {},
+                          "Exclusive build locks granted (Sec 6.1)");
+  obs_.locks_denied = metrics->GetCounter(
+      "cv_metadata_build_locks_denied_total", {},
+      "Build-lock proposals denied (already built or being built)");
+  obs_.views_registered =
+      metrics->GetCounter("cv_metadata_views_registered_total", {},
+                          "Materialized views registered");
+  obs_.views_purged = metrics->GetCounter(
+      "cv_metadata_views_purged_total", {}, "Expired views purged");
+  obs_.registered_views =
+      metrics->GetGauge("cv_metadata_registered_views", {},
+                        "Currently registered materialized views");
+  obs_.lock_wait = metrics->GetHistogram(
+      "cv_metadata_lock_wait_seconds", {}, {},
+      "Wall time waiting for the service-wide mutex that guards the "
+      "exclusive build locks");
+}
 
 void MetadataService::LoadAnalysis(
     const std::vector<AnnotatedComputation>& computations) {
@@ -28,8 +63,9 @@ double MetadataService::SimulatedLookupLatency() const {
 
 std::vector<ViewAnnotation> MetadataService::GetRelevantViews(
     const std::vector<std::string>& tags, double* latency_seconds) const {
-  MutexLock lock(mu_);
+  obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
   ++counters_.lookups;
+  if (obs_.lookups != nullptr) obs_.lookups->Increment();
   if (latency_seconds != nullptr) {
     *latency_seconds = SimulatedLookupLatency();
   }
@@ -58,15 +94,26 @@ std::optional<ViewAnnotation> MetadataService::FindAnnotation(
 
 std::optional<MaterializedViewInfo> MetadataService::FindMaterialized(
     const Hash128& normalized, const Hash128& precise) {
-  MutexLock lock(mu_);
+  obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
+  // Instrument pointers are set once before concurrent use, so the lambda
+  // touches no mu_-guarded state.
+  auto record_miss = [this] {
+    if (obs_.misses != nullptr) obs_.misses->Increment();
+  };
   auto it = views_.find(precise);
-  if (it == views_.end()) return std::nullopt;
+  if (it == views_.end()) {
+    record_miss();
+    return std::nullopt;
+  }
   if (!(it->second.info.normalized_signature == normalized)) {
+    record_miss();
     return std::nullopt;
   }
   if (it->second.expires_at != 0 && it->second.expires_at <= clock_->Now()) {
+    record_miss();
     return std::nullopt;  // expired but not yet purged
   }
+  if (obs_.hits != nullptr) obs_.hits->Increment();
   return it->second.info;
 }
 
@@ -75,16 +122,18 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
                                          uint64_t job_id,
                                          double expected_build_seconds) {
   (void)normalized;
-  MutexLock lock(mu_);
+  obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
   ++counters_.proposals;
   if (views_.count(precise) > 0) {
     ++counters_.locks_denied;
+    if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
     return false;  // already materialized
   }
   LogicalTime now = clock_->Now();
   auto it = locks_.find(precise);
   if (it != locks_.end() && it->second.expires_at > now) {
     ++counters_.locks_denied;
+    if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
     return false;  // a concurrent job is building this view
   }
   double expiry_seconds =
@@ -93,15 +142,20 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
   locks_[precise] =
       BuildLock{job_id, now + static_cast<LogicalTime>(expiry_seconds)};
   ++counters_.locks_granted;
+  if (obs_.locks_granted != nullptr) obs_.locks_granted->Increment();
   return true;
 }
 
 void MetadataService::ReportMaterialized(const MaterializedViewInfo& info,
                                          LogicalTime expires_at) {
-  MutexLock lock(mu_);
+  obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
   views_[info.precise_signature] = RegisteredView{info, expires_at};
   locks_.erase(info.precise_signature);
   ++counters_.views_registered;
+  if (obs_.views_registered != nullptr) {
+    obs_.views_registered->Increment();
+    obs_.registered_views->Set(static_cast<double>(views_.size()));
+  }
 }
 
 void MetadataService::AbandonLock(const Hash128& precise, uint64_t job_id) {
@@ -127,6 +181,10 @@ size_t MetadataService::PurgeExpired() {
       } else {
         ++it;
       }
+    }
+    if (obs_.views_purged != nullptr) {
+      obs_.views_purged->Increment(paths_to_delete.size());
+      obs_.registered_views->Set(static_cast<double>(views_.size()));
     }
   }
   for (const auto& path : paths_to_delete) {

@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/mutex.h"
+#include "obs/metrics.h"
 #include "optimizer/view_interfaces.h"
 #include "storage/storage_manager.h"
 
@@ -43,6 +44,13 @@ class MetadataService : public ViewCatalogInterface {
   MetadataService(SimulatedClock* clock, StorageManager* storage,
                   MetadataServiceConfig config = {})
       : clock_(clock), storage_(storage), config_(config) {}
+
+  /// Publishes lookup/hit-miss/lock counters and the service-mutex wait
+  /// histogram (the contention signal for the Sec 6.1 exclusive build
+  /// locks) into `metrics`. `wall_clock` times the mutex waits; null uses
+  /// the real monotonic clock. Call before concurrent use.
+  void SetMetrics(obs::MetricsRegistry* metrics,
+                  MonotonicClock* wall_clock = nullptr);
 
   /// Installs a new analysis (replacing the previous one), rebuilding the
   /// tag inverted index. Called when the analyzer output is refreshed.
@@ -121,9 +129,24 @@ class MetadataService : public ViewCatalogInterface {
     LogicalTime expires_at;
   };
 
+  /// Instrument handles; all null when uninstrumented.
+  struct Instruments {
+    obs::Counter* lookups = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* locks_granted = nullptr;
+    obs::Counter* locks_denied = nullptr;
+    obs::Counter* views_registered = nullptr;
+    obs::Counter* views_purged = nullptr;
+    obs::Gauge* registered_views = nullptr;
+    obs::Histogram* lock_wait = nullptr;
+  };
+
   SimulatedClock* clock_;
   StorageManager* storage_;
   MetadataServiceConfig config_;
+  MonotonicClock* wall_clock_ = nullptr;
+  Instruments obs_;
 
   /// One service-wide lock: guards the analyzer output + tag inverted
   /// index, the registered-view map, and the exclusive build locks of

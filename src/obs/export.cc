@@ -1,0 +1,149 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace cloudviews {
+namespace obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string FormatValue(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// `name{labels[,extra]} value\n`
+void EmitLine(std::string* out, const std::string& name,
+              const std::string& labels, const std::string& extra,
+              const std::string& value) {
+  *out += name;
+  if (!labels.empty() || !extra.empty()) {
+    *out += '{';
+    *out += labels;
+    if (!labels.empty() && !extra.empty()) *out += ',';
+    *out += extra;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += value;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const FamilySnapshot& fam : registry.Snapshot()) {
+    if (!fam.help.empty()) {
+      out += "# HELP " + fam.name + " " + fam.help + "\n";
+    }
+    out += "# TYPE " + fam.name + " " + TypeName(fam.type) + "\n";
+    for (const SeriesSnapshot& series : fam.series) {
+      std::string labels = RenderLabels(series.labels);
+      switch (fam.type) {
+        case MetricType::kCounter:
+        case MetricType::kGauge:
+          EmitLine(&out, fam.name, labels, "", FormatValue(series.value));
+          break;
+        case MetricType::kHistogram: {
+          // Prometheus buckets are cumulative.
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < series.bounds.size(); ++i) {
+            cumulative += series.bucket_counts[i];
+            EmitLine(&out, fam.name + "_bucket", labels,
+                     "le=\"" + FormatValue(series.bounds[i]) + "\"",
+                     std::to_string(cumulative));
+          }
+          cumulative += series.bucket_counts.back();
+          EmitLine(&out, fam.name + "_bucket", labels, "le=\"+Inf\"",
+                   std::to_string(cumulative));
+          EmitLine(&out, fam.name + "_sum", labels, "",
+                   FormatValue(series.sum));
+          EmitLine(&out, fam.name + "_count", labels, "",
+                   std::to_string(series.count));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsRegistry& registry) {
+  JsonWriter w;
+  w.BeginObject();
+  for (const FamilySnapshot& fam : registry.Snapshot()) {
+    w.Key(fam.name).BeginObject();
+    w.Key("type").String(TypeName(fam.type));
+    w.Key("series").BeginArray();
+    for (const SeriesSnapshot& series : fam.series) {
+      w.BeginObject();
+      if (!series.labels.empty()) {
+        w.Key("labels").BeginObject();
+        for (const auto& [k, v] : series.labels) w.Key(k).String(v);
+        w.EndObject();
+      }
+      switch (fam.type) {
+        case MetricType::kCounter:
+        case MetricType::kGauge:
+          w.Key("value").Double(series.value);
+          break;
+        case MetricType::kHistogram:
+          w.Key("count").Uint(series.count);
+          w.Key("sum").Double(series.sum);
+          w.Key("mean").Double(
+              series.count > 0
+                  ? series.sum / static_cast<double>(series.count)
+                  : 0);
+          w.Key("bounds").BeginArray();
+          for (double b : series.bounds) w.Double(b);
+          w.EndArray();
+          w.Key("bucket_counts").BeginArray();
+          for (uint64_t c : series.bucket_counts) w.Uint(c);
+          w.EndArray();
+          break;
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+void SpanToJson(const SpanRecord& span, JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("name").String(span.name);
+  writer->Key("start_seconds").Double(span.start_seconds);
+  writer->Key("end_seconds").Double(span.end_seconds);
+  writer->Key("duration_seconds")
+      .Double(span.end_seconds - span.start_seconds);
+  if (!span.attributes.empty()) {
+    writer->Key("attributes").BeginObject();
+    for (const auto& [k, v] : span.attributes) writer->Key(k).String(v);
+    writer->EndObject();
+  }
+  if (!span.children.empty()) {
+    writer->Key("children").BeginArray();
+    for (const auto& child : span.children) SpanToJson(*child, writer);
+    writer->EndArray();
+  }
+  writer->EndObject();
+}
+
+}  // namespace obs
+}  // namespace cloudviews

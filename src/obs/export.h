@@ -1,0 +1,32 @@
+#ifndef CLOUDVIEWS_OBS_EXPORT_H_
+#define CLOUDVIEWS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cloudviews {
+namespace obs {
+
+/// \brief Renders the registry in the Prometheus text exposition format
+/// (v0.0.4): `# HELP` / `# TYPE` headers, `_bucket{le=...}` / `_sum` /
+/// `_count` histogram series. Output is sorted by family name then label
+/// set, so a deterministic workload produces byte-identical snapshots
+/// (golden-tested).
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// \brief Renders the registry as a JSON document (families -> series),
+/// the form embedded into bench artifacts like BENCH_executor.json.
+std::string RenderMetricsJson(const MetricsRegistry& registry);
+
+/// Appends one span tree to an open JsonWriter as
+/// {"name":..., "start_seconds":..., "end_seconds":...,
+///  "attributes":{...}, "children":[...]}.
+void SpanToJson(const SpanRecord& span, JsonWriter* writer);
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_EXPORT_H_

@@ -1,0 +1,51 @@
+#ifndef CLOUDVIEWS_OBS_JSON_H_
+#define CLOUDVIEWS_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudviews {
+namespace obs {
+
+/// \brief Minimal streaming JSON writer (no DOM, no dependencies) used for
+/// profile artifacts and bench output. Handles commas, nesting, and string
+/// escaping; numbers are rendered with enough precision to round-trip.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Next value inside an object gets this key.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document built so far; call after closing every scope.
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open scope: true = first element not yet written.
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// Escapes a string per JSON (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_JSON_H_

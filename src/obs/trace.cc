@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace cloudviews {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Stamps `end` on every span in the subtree that is still open.
+void CloseOpenSpans(SpanRecord* record, double end) {
+  if (record->end_seconds == 0) record->end_seconds = end;
+  for (auto& child : record->children) CloseOpenSpans(child.get(), end);
+}
+
+}  // namespace
+
+const SpanRecord* SpanRecord::Find(const std::string& span_name) const {
+  if (name == span_name) return this;
+  for (const auto& child : children) {
+    if (const SpanRecord* found = child->Find(span_name)) return found;
+  }
+  return nullptr;
+}
+
+/// Root-shared mutable state of one in-flight trace. The root SpanRecord is
+/// owned here until the root span ends, then moves to the tracer; `mu`
+/// serializes every mutation of the tree (attributes, children, end
+/// stamps) across the threads holding span handles into it.
+struct Span::TraceState {
+  Tracer* tracer = nullptr;
+  MonotonicClock* clock = nullptr;
+  Mutex mu;
+  std::shared_ptr<SpanRecord> root GUARDED_BY(mu);
+  bool delivered GUARDED_BY(mu) = false;
+};
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    trace_ = std::move(other.trace_);
+    record_ = other.record_;
+    is_root_ = other.is_root_;
+    other.record_ = nullptr;
+    other.is_root_ = false;
+  }
+  return *this;
+}
+
+Span Span::StartChild(std::string name) {
+  if (!active()) return Span();
+  double now = trace_->clock->NowSeconds();
+  MutexLock lock(trace_->mu);
+  if (trace_->delivered) return Span();  // root already ended
+  auto child = std::make_unique<SpanRecord>();
+  child->name = std::move(name);
+  child->start_seconds = now;
+  SpanRecord* raw = child.get();
+  record_->children.push_back(std::move(child));
+  return Span(trace_, raw, /*is_root=*/false);
+}
+
+void Span::SetAttribute(const std::string& key, const std::string& value) {
+  if (!active()) return;
+  MutexLock lock(trace_->mu);
+  if (trace_->delivered) return;
+  for (auto& attr : record_->attributes) {
+    if (attr.first == key) {
+      attr.second = value;
+      return;
+    }
+  }
+  record_->attributes.emplace_back(key, value);
+}
+
+void Span::SetAttribute(const std::string& key, const char* value) {
+  SetAttribute(key, std::string(value));
+}
+
+void Span::SetAttribute(const std::string& key, int64_t value) {
+  SetAttribute(key, std::to_string(value));
+}
+
+void Span::SetAttribute(const std::string& key, uint64_t value) {
+  SetAttribute(key, std::to_string(value));
+}
+
+void Span::SetAttribute(const std::string& key, double value) {
+  SetAttribute(key, FormatDouble(value));
+}
+
+void Span::SetAttribute(const std::string& key, bool value) {
+  SetAttribute(key, std::string(value ? "true" : "false"));
+}
+
+void Span::End() { (void)Finish(); }
+
+std::shared_ptr<const SpanRecord> Span::Finish() {
+  if (!active()) return nullptr;
+  double now = trace_->clock->NowSeconds();
+  std::shared_ptr<const SpanRecord> finished;
+  {
+    MutexLock lock(trace_->mu);
+    if (!trace_->delivered) {
+      if (record_->end_seconds == 0) record_->end_seconds = now;
+      if (is_root_) {
+        CloseOpenSpans(trace_->root.get(), now);
+        trace_->delivered = true;
+        finished = trace_->root;
+      }
+    }
+  }
+  if (finished != nullptr && trace_->tracer != nullptr) {
+    trace_->tracer->Deliver(finished);
+  }
+  record_ = nullptr;
+  trace_.reset();
+  return finished;
+}
+
+Span Tracer::StartTrace(std::string name) {
+  auto state = std::make_shared<Span::TraceState>();
+  state->tracer = this;
+  state->clock = clock_;
+  auto root = std::make_shared<SpanRecord>();
+  root->name = std::move(name);
+  root->start_seconds = clock_->NowSeconds();
+  SpanRecord* raw = root.get();
+  {
+    MutexLock lock(state->mu);
+    state->root = std::move(root);
+  }
+  return Span(std::move(state), raw, /*is_root=*/true);
+}
+
+void Tracer::Deliver(std::shared_ptr<const SpanRecord> root) {
+  MutexLock lock(mu_);
+  traces_.push_back(std::move(root));
+  while (traces_.size() > max_traces_) {
+    traces_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<std::shared_ptr<const SpanRecord>> Tracer::FinishedTraces()
+    const {
+  MutexLock lock(mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+std::shared_ptr<const SpanRecord> Tracer::LatestTrace() const {
+  MutexLock lock(mu_);
+  return traces_.empty() ? nullptr : traces_.back();
+}
+
+uint64_t Tracer::dropped_traces() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  MutexLock lock(mu_);
+  traces_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace obs
+}  // namespace cloudviews

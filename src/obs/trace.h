@@ -1,0 +1,134 @@
+#ifndef CLOUDVIEWS_OBS_TRACE_H_
+#define CLOUDVIEWS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace cloudviews {
+namespace obs {
+
+/// \brief One finished span: a named, timed section of a job's lifecycle
+/// with key/value attributes and nested children.
+///
+/// The span taxonomy this repo emits is documented in DESIGN.md
+/// ("Observability"): a `job` root with `metadata_lookup`, `optimize`
+/// (containing the optimizer phases), `execute`, and `record` children.
+struct SpanRecord {
+  std::string name;
+  double start_seconds = 0;
+  double end_seconds = 0;
+  /// Attribute values are pre-rendered to strings (ints exactly, doubles
+  /// with %.9g), which keeps the record trivially serializable.
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<SpanRecord>> children;
+
+  /// Depth-first search by name; returns null when absent.
+  const SpanRecord* Find(const std::string& span_name) const;
+};
+
+class Tracer;
+
+/// \brief RAII handle over a live span. A default-constructed Span is
+/// inactive: every operation is a no-op, which lets instrumented code run
+/// unchanged when tracing is off.
+///
+/// Handles may be passed across threads; attribute writes and child
+/// creation are serialized per trace. End() is idempotent and runs on
+/// destruction. Ending a root span delivers the whole tree to the Tracer.
+class Span {
+ public:
+  Span() = default;
+  ~Span() { End(); }
+
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  [[nodiscard]] bool active() const { return record_ != nullptr; }
+
+  /// Starts a nested span; the child must end before this span ends (spans
+  /// still open when their root ends are closed at the root's end time).
+  [[nodiscard]] Span StartChild(std::string name);
+
+  void SetAttribute(const std::string& key, const std::string& value);
+  void SetAttribute(const std::string& key, const char* value);
+  void SetAttribute(const std::string& key, int64_t value);
+  void SetAttribute(const std::string& key, uint64_t value);
+  void SetAttribute(const std::string& key, double value);
+  void SetAttribute(const std::string& key, bool value);
+
+  /// Stamps the end time (first call wins). For a root span, also closes
+  /// any still-open descendants and publishes the trace to the tracer.
+  void End();
+
+  /// End() + returns the finished tree (root spans only; inactive or
+  /// non-root spans return null). The tracer retains the same pointer.
+  std::shared_ptr<const SpanRecord> Finish();
+
+ private:
+  friend class Tracer;
+  struct TraceState;
+
+  Span(std::shared_ptr<TraceState> trace, SpanRecord* record, bool is_root)
+      : trace_(std::move(trace)), record_(record), is_root_(is_root) {}
+
+  /// Shared by every handle of one trace; the mutex serializes all tree
+  /// mutation for the trace.
+  std::shared_ptr<TraceState> trace_;
+  SpanRecord* record_ = nullptr;
+  bool is_root_ = false;
+};
+
+/// \brief Produces spans and retains the most recent finished traces.
+///
+/// Thread-safe; each StartTrace is independent, so concurrent jobs build
+/// disjoint span trees. Retention is bounded (oldest traces drop) so an
+/// always-online service does not grow without bound.
+class Tracer {
+ public:
+  /// `clock` null means the process-wide real monotonic clock; tests pass
+  /// a FakeMonotonicClock for deterministic span times.
+  explicit Tracer(MonotonicClock* clock = nullptr, size_t max_traces = 128)
+      : clock_(clock != nullptr ? clock : MonotonicClock::Real()),
+        max_traces_(max_traces > 0 ? max_traces : 1) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] Span StartTrace(std::string name);
+
+  /// Finished root spans, oldest first.
+  std::vector<std::shared_ptr<const SpanRecord>> FinishedTraces() const
+      EXCLUDES(mu_);
+  std::shared_ptr<const SpanRecord> LatestTrace() const EXCLUDES(mu_);
+  /// Traces evicted by the retention bound since construction/Clear.
+  uint64_t dropped_traces() const EXCLUDES(mu_);
+  void Clear() EXCLUDES(mu_);
+
+  MonotonicClock* clock() const { return clock_; }
+
+ private:
+  friend class Span;
+
+  void Deliver(std::shared_ptr<const SpanRecord> root) EXCLUDES(mu_);
+
+  MonotonicClock* clock_;
+  const size_t max_traces_;
+  mutable Mutex mu_;
+  std::deque<std::shared_ptr<const SpanRecord>> traces_ GUARDED_BY(mu_);
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_TRACE_H_

@@ -1,14 +1,20 @@
 #include "optimizer/optimizer.h"
 
-#include <chrono>
-
+#include "common/clock.h"
+#include "obs/trace.h"
 #include "optimizer/rules.h"
 
 namespace cloudviews {
 
 Result<OptimizedPlan> Optimizer::Optimize(const PlanNodePtr& logical,
                                           const OptimizeContext& ctx) const {
-  auto start = std::chrono::steady_clock::now();
+  MonotonicClock* clock =
+      ctx.clock != nullptr ? ctx.clock : MonotonicClock::Real();
+  double start = clock->NowSeconds();
+  // With no parent span the local inactive one makes every StartChild /
+  // SetAttribute below a no-op.
+  obs::Span inactive;
+  obs::Span* parent = ctx.span != nullptr ? ctx.span : &inactive;
 
   PlanNodePtr root = logical->Clone();
   CV_RETURN_NOT_OK(root->Bind());
@@ -16,6 +22,7 @@ Result<OptimizedPlan> Optimizer::Optimize(const PlanNodePtr& logical,
   // 1. Logical rewrites (deterministic, so recurring instances compile to
   //    identical trees).
   if (config_.enable_logical_rewrites) {
+    obs::Span span = parent->StartChild("logical_rewrite");
     root = MergeAdjacentFilters(std::move(root));
     root = PushDownFilters(std::move(root));
     CV_RETURN_NOT_OK(root->Bind());
@@ -23,12 +30,14 @@ Result<OptimizedPlan> Optimizer::Optimize(const PlanNodePtr& logical,
 
   // 2. Physical planning: algorithms + property enforcers. Signatures are
   //    computed over this physical tree, mirroring SCOPE plan fingerprints.
-  CV_ASSIGN_OR_RETURN(root, physical_planner_.Plan(std::move(root)));
-  root = RemoveRedundantEnforcers(std::move(root));
-  CV_RETURN_NOT_OK(root->Bind());
-
-  // 3. Cost annotation with the feedback loop.
-  cost_model_.Annotate(root.get(), ctx.feedback, ctx.storage);
+  //    Cost annotation (the feedback loop) rides in the same phase.
+  {
+    obs::Span span = parent->StartChild("physical_plan");
+    CV_ASSIGN_OR_RETURN(root, physical_planner_.Plan(std::move(root)));
+    root = RemoveRedundantEnforcers(std::move(root));
+    CV_RETURN_NOT_OK(root->Bind());
+    cost_model_.Annotate(root.get(), ctx.feedback, ctx.storage);
+  }
 
   OptimizedPlan out;
   AnnotationIndex annotations = IndexAnnotations(ctx.annotations);
@@ -36,30 +45,44 @@ Result<OptimizedPlan> Optimizer::Optimize(const PlanNodePtr& logical,
 
   // 4. Reuse pass first (Fig 10): never materialize what can be read.
   ViewRewriter::ReuseStats reuse_stats;
-  root = rewriter.ApplyReuse(std::move(root), annotations, &reuse_stats);
-  CV_RETURN_NOT_OK(root->Bind());
-  if (reuse_stats.views_reused > 0) {
-    // A substituted view may not deliver the properties its parent needs;
-    // add the extra partitioning/sorting (Sec 7.1 factor iii).
-    CV_ASSIGN_OR_RETURN(root,
-                        physical_planner_.RepairProperties(std::move(root)));
-    // Re-annotate: actual view statistics now propagate up the tree
-    // (Sec 6.3).
-    cost_model_.Annotate(root.get(), ctx.feedback, ctx.storage);
+  {
+    obs::Span span = parent->StartChild("reuse");
+    root = rewriter.ApplyReuse(std::move(root), annotations, &reuse_stats);
+    CV_RETURN_NOT_OK(root->Bind());
+    if (reuse_stats.views_reused > 0) {
+      // A substituted view may not deliver the properties its parent
+      // needs; add the extra partitioning/sorting (Sec 7.1 factor iii).
+      CV_ASSIGN_OR_RETURN(
+          root, physical_planner_.RepairProperties(std::move(root)));
+      // Re-annotate: actual view statistics now propagate up the tree
+      // (Sec 6.3).
+      cost_model_.Annotate(root.get(), ctx.feedback, ctx.storage);
+    }
+    span.SetAttribute("views_reused",
+                      static_cast<int64_t>(reuse_stats.views_reused));
+    span.SetAttribute("rejected_by_cost",
+                      static_cast<int64_t>(reuse_stats.rejected_by_cost));
   }
 
   // 5. Follow-up optimization: propose online materializations (Fig 10,
-  //    lower half).
+  //    lower half), then final annotation & ids.
   ViewRewriter::MaterializeStats mat_stats;
-  root = rewriter.ApplyMaterialization(
-      std::move(root), annotations, ctx.job_id,
-      config_.max_materialized_views_per_job, root->estimates().cost,
-      config_.max_materialize_cost_fraction, &mat_stats);
-  CV_RETURN_NOT_OK(root->Bind());
-
-  // 6. Final annotation & ids.
-  cost_model_.Annotate(root.get(), ctx.feedback, ctx.storage);
-  AssignNodeIds(root.get());
+  {
+    obs::Span span = parent->StartChild("materialize");
+    root = rewriter.ApplyMaterialization(
+        std::move(root), annotations, ctx.job_id,
+        config_.max_materialized_views_per_job, root->estimates().cost,
+        config_.max_materialize_cost_fraction, &mat_stats);
+    CV_RETURN_NOT_OK(root->Bind());
+    cost_model_.Annotate(root.get(), ctx.feedback, ctx.storage);
+    AssignNodeIds(root.get());
+    span.SetAttribute("views_materialized",
+                      static_cast<int64_t>(mat_stats.views_materialized));
+    span.SetAttribute("lock_denied",
+                      static_cast<int64_t>(mat_stats.lock_denied));
+    span.SetAttribute("skipped_by_cost",
+                      static_cast<int64_t>(mat_stats.skipped_by_cost));
+  }
 
   out.root = std::move(root);
   out.estimated_cost = out.root->estimates().cost;
@@ -68,9 +91,7 @@ Result<OptimizedPlan> Optimizer::Optimize(const PlanNodePtr& logical,
   out.views_materialized = mat_stats.views_materialized;
   out.materialize_lock_denied = mat_stats.lock_denied;
   out.materialize_skipped_by_cost = mat_stats.skipped_by_cost;
-  out.optimize_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  out.optimize_seconds = clock->NowSeconds() - start;
   return out;
 }
 

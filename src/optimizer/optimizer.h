@@ -12,6 +12,11 @@
 
 namespace cloudviews {
 
+class MonotonicClock;
+namespace obs {
+class Span;
+}  // namespace obs
+
 struct OptimizerConfig {
   CostModelConfig cost;
   PhysicalPlannerConfig physical;
@@ -37,6 +42,12 @@ struct OptimizeContext {
   /// Annotations relevant to this job, fetched from the metadata service.
   std::vector<ViewAnnotation> annotations;
   uint64_t job_id = 0;
+  /// Parent trace span (usually the job's "optimize" stage); when non-null
+  /// the optimizer nests one child span per phase under it. Null disables
+  /// tracing.
+  obs::Span* span = nullptr;
+  /// Wall-time source for optimize_seconds; null uses the real clock.
+  MonotonicClock* clock = nullptr;
 };
 
 struct OptimizedPlan {

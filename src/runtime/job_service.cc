@@ -10,9 +10,56 @@ ThreadPool* JobService::ExecutionPool(const ExecOptions& opts) {
   if (pool_ == nullptr) {
     // The submitting thread helps while it waits (TaskGroup::Wait), so
     // worker_threads - 1 pool workers give worker_threads total threads.
-    pool_ = std::make_unique<ThreadPool>(opts.worker_threads - 1);
+    pool_ = std::make_unique<ThreadPool>(opts.worker_threads - 1, metrics_,
+                                         "exec", wall_clock_);
   }
   return pool_.get();
+}
+
+void JobService::SetObservability(obs::MetricsRegistry* metrics,
+                                  obs::Tracer* tracer,
+                                  MonotonicClock* wall_clock) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  wall_clock_ = wall_clock != nullptr ? wall_clock : MonotonicClock::Real();
+  if (metrics == nullptr) return;
+  obs_.submitted = metrics->GetCounter("cv_jobs_submitted_total", {},
+                                       "Jobs accepted for execution");
+  obs_.succeeded = metrics->GetCounter("cv_jobs_succeeded_total", {},
+                                       "Jobs that ran to completion");
+  obs_.failed = metrics->GetCounter("cv_jobs_failed_total", {},
+                                    "Jobs that returned an error");
+  obs_.active = metrics->GetGauge("cv_jobs_active", {},
+                                  "Jobs currently inside SubmitJob");
+  obs_.latency = metrics->GetHistogram("cv_job_latency_seconds", {}, {},
+                                       "Submit-to-finish wall time");
+  obs_.stage_lookup = metrics->GetHistogram(
+      "cv_job_stage_seconds", {{"stage", "metadata_lookup"}}, {},
+      "Per-stage wall time of the job pipeline");
+  obs_.stage_optimize = metrics->GetHistogram(
+      "cv_job_stage_seconds", {{"stage", "optimize"}}, {},
+      "Per-stage wall time of the job pipeline");
+  obs_.stage_execute = metrics->GetHistogram(
+      "cv_job_stage_seconds", {{"stage", "execute"}}, {},
+      "Per-stage wall time of the job pipeline");
+  obs_.stage_record = metrics->GetHistogram(
+      "cv_job_stage_seconds", {{"stage", "record"}}, {},
+      "Per-stage wall time of the job pipeline");
+  obs_.views_reused =
+      metrics->GetCounter("cv_rewrite_views_reused_total", {},
+                          "Subgraphs replaced by materialized-view scans");
+  obs_.views_materialized =
+      metrics->GetCounter("cv_rewrite_views_materialized_total", {},
+                          "Online view materializations injected");
+  obs_.reuse_rejected = metrics->GetCounter(
+      "cv_rewrite_reuse_rejected_by_cost_total", {},
+      "Reuse opportunities rejected by the cost model (Sec 6.3)");
+  obs_.lock_denied = metrics->GetCounter(
+      "cv_rewrite_materialize_lock_denied_total", {},
+      "Materializations skipped because another job holds the build lock");
+  obs_.mat_skipped = metrics->GetCounter(
+      "cv_rewrite_materialize_skipped_by_cost_total", {},
+      "Materializations skipped by the write-cost gate");
 }
 
 std::vector<std::string> JobService::DefaultTags(const JobDefinition& def) {
@@ -28,13 +75,40 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   if (def.logical_plan == nullptr) {
     return Status::InvalidArgument("job has no plan");
   }
+  MonotonicClock* wall =
+      wall_clock_ != nullptr ? wall_clock_ : MonotonicClock::Real();
+  double submit_start = wall->NowSeconds();
+  if (obs_.submitted != nullptr) obs_.submitted->Increment();
+  obs::ScopedGaugeIncrement active(obs_.active);
+
   JobResult result;
   result.job_id = next_job_id_.fetch_add(1);
+
+  obs::Span job_span;  // inactive unless a tracer is attached
+  if (tracer_ != nullptr) {
+    job_span = tracer_->StartTrace("job");
+    job_span.SetAttribute("job_id", result.job_id);
+    job_span.SetAttribute("template_id", def.template_id);
+    job_span.SetAttribute("recurring_instance",
+                          static_cast<int64_t>(def.recurring_instance));
+  }
+  // Shared failure path: stamps counters/latency and hands the trace back
+  // on the error too, so failed jobs stay diagnosable.
+  auto fail = [&](Status status) {
+    if (obs_.failed != nullptr) {
+      obs_.failed->Increment();
+      obs_.latency->Observe(wall->NowSeconds() - submit_start);
+    }
+    job_span.SetAttribute("error", status.ToString());
+    job_span.End();
+    return status;
+  };
 
   // --- Compile: metadata lookup + optimization (Fig 6 right, Fig 9) -------
   OptimizeContext ctx;
   ctx.storage = storage_;
   ctx.job_id = result.job_id;
+  ctx.clock = wall;
   if (options.use_feedback_statistics && repository_ != nullptr) {
     ctx.feedback = repository_;
   }
@@ -42,12 +116,40 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
     ctx.view_catalog = metadata_;
     std::vector<std::string> tags =
         def.tags.empty() ? DefaultTags(def) : def.tags;
+    double lookup_start = wall->NowSeconds();
+    obs::Span span = job_span.StartChild("metadata_lookup");
     ctx.annotations =
         metadata_->GetRelevantViews(tags, &result.metadata_lookup_seconds);
+    span.SetAttribute("annotations",
+                      static_cast<uint64_t>(ctx.annotations.size()));
+    span.SetAttribute("simulated_latency_seconds",
+                      result.metadata_lookup_seconds);
+    if (obs_.stage_lookup != nullptr) {
+      obs_.stage_lookup->Observe(wall->NowSeconds() - lookup_start);
+    }
   }
 
-  CV_ASSIGN_OR_RETURN(OptimizedPlan optimized,
-                      optimizer_.Optimize(def.logical_plan, ctx));
+  double optimize_start = wall->NowSeconds();
+  obs::Span optimize_span = job_span.StartChild("optimize");
+  ctx.span = optimize_span.active() ? &optimize_span : nullptr;
+  auto optimized_or = optimizer_.Optimize(def.logical_plan, ctx);
+  if (!optimized_or.ok()) return fail(optimized_or.status());
+  OptimizedPlan optimized = std::move(optimized_or).ValueOrDie();
+  optimize_span.SetAttribute("estimated_cost", optimized.estimated_cost);
+  optimize_span.End();
+  if (obs_.stage_optimize != nullptr) {
+    obs_.stage_optimize->Observe(wall->NowSeconds() - optimize_start);
+    obs_.views_reused->Increment(
+        static_cast<uint64_t>(optimized.views_reused));
+    obs_.views_materialized->Increment(
+        static_cast<uint64_t>(optimized.views_materialized));
+    obs_.reuse_rejected->Increment(
+        static_cast<uint64_t>(optimized.reuse_rejected_by_cost));
+    obs_.lock_denied->Increment(
+        static_cast<uint64_t>(optimized.materialize_lock_denied));
+    obs_.mat_skipped->Increment(
+        static_cast<uint64_t>(optimized.materialize_skipped_by_cost));
+  }
   result.compile_seconds = optimized.optimize_seconds;
   result.views_reused = optimized.views_reused;
   result.views_materialized = optimized.views_materialized;
@@ -56,9 +158,13 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   result.estimated_cost = optimized.estimated_cost;
 
   // --- Execute with early view publication (Sec 6.4) -----------------------
+  double execute_start = wall->NowSeconds();
+  obs::Span execute_span = job_span.StartChild("execute");
   ExecContext exec_ctx;
   exec_ctx.storage = storage_;
   exec_ctx.job_id = result.job_id;
+  exec_ctx.metrics = metrics_;
+  exec_ctx.clock = wall;
   exec_ctx.options = options.exec.value_or(exec_options_);
   exec_ctx.pool = ExecutionPool(exec_ctx.options);
   if (metadata_ != nullptr) {
@@ -91,13 +197,24 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
         }
       }
     }
-    return run.status();
+    return fail(run.status());
   }
   result.run_stats = *run;
   result.executed_plan = optimized.root;
+  execute_span.SetAttribute("output_rows", result.run_stats.output_rows);
+  execute_span.SetAttribute("output_bytes", result.run_stats.output_bytes);
+  execute_span.SetAttribute("cpu_seconds", result.run_stats.cpu_seconds);
+  execute_span.SetAttribute(
+      "operators", static_cast<uint64_t>(result.run_stats.operators.size()));
+  execute_span.End();
+  if (obs_.stage_execute != nullptr) {
+    obs_.stage_execute->Observe(wall->NowSeconds() - execute_start);
+  }
 
   // --- Record in the workload repository (feedback loop) -------------------
   if (options.record_in_repository && repository_ != nullptr) {
+    double record_start = wall->NowSeconds();
+    obs::Span record_span = job_span.StartChild("record");
     JobRecord record;
     record.job_id = result.job_id;
     record.cluster = def.cluster;
@@ -112,7 +229,17 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
     record.plan = optimized.root;
     record.run_stats = result.run_stats;
     repository_->AddJob(std::move(record));
+    record_span.End();
+    if (obs_.stage_record != nullptr) {
+      obs_.stage_record->Observe(wall->NowSeconds() - record_start);
+    }
   }
+
+  if (obs_.succeeded != nullptr) {
+    obs_.succeeded->Increment();
+    obs_.latency->Observe(wall->NowSeconds() - submit_start);
+  }
+  result.trace = job_span.Finish();
   return result;
 }
 
@@ -156,6 +283,8 @@ Result<int> JobService::MaterializeOfflineViews(const JobDefinition& def) {
     ExecContext exec_ctx;
     exec_ctx.storage = storage_;
     exec_ctx.job_id = job_id;
+    exec_ctx.metrics = metrics_;
+    exec_ctx.clock = wall_clock_;
     exec_ctx.options = exec_options_;
     exec_ctx.pool = ExecutionPool(exec_ctx.options);
     exec_ctx.on_view_materialized = [this, job_id](const SpoolNode& node,

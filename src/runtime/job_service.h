@@ -13,6 +13,8 @@
 #include "exec/exec_options.h"
 #include "exec/executor.h"
 #include "metadata/metadata_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "runtime/workload_repository.h"
 
@@ -46,6 +48,10 @@ struct JobResult {
   int reuse_rejected_by_cost = 0;
   int materialize_lock_denied = 0;
   double estimated_cost = 0;
+  /// The job's finished lifecycle trace (root span "job" with
+  /// metadata_lookup / optimize / execute / record children); null when
+  /// the service runs without a tracer.
+  std::shared_ptr<const obs::SpanRecord> trace;
 };
 
 struct JobServiceOptions {
@@ -83,6 +89,14 @@ class JobService {
         optimizer_(optimizer_config),
         exec_options_(exec_options) {}
 
+  /// Publishes job/stage metrics into `metrics` and emits one lifecycle
+  /// trace per submission into `tracer` (either may be null to disable).
+  /// `wall_clock` drives latency histograms and span times; null uses the
+  /// real monotonic clock. Call before the first submission — instruments
+  /// are registered here, not on the hot path.
+  void SetObservability(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+                        MonotonicClock* wall_clock = nullptr);
+
   Result<JobResult> SubmitJob(const JobDefinition& def,
                               const JobServiceOptions& options = {});
 
@@ -111,12 +125,33 @@ class JobService {
   /// execution slots of the cluster.
   ThreadPool* ExecutionPool(const ExecOptions& opts) EXCLUDES(pool_mu_);
 
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* succeeded = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Gauge* active = nullptr;
+    obs::Histogram* latency = nullptr;
+    obs::Histogram* stage_lookup = nullptr;
+    obs::Histogram* stage_optimize = nullptr;
+    obs::Histogram* stage_execute = nullptr;
+    obs::Histogram* stage_record = nullptr;
+    obs::Counter* views_reused = nullptr;
+    obs::Counter* views_materialized = nullptr;
+    obs::Counter* reuse_rejected = nullptr;
+    obs::Counter* lock_denied = nullptr;
+    obs::Counter* mat_skipped = nullptr;
+  };
+
   SimulatedClock* clock_;
   StorageManager* storage_;
   MetadataService* metadata_;  // may be null (CloudViews unavailable)
   WorkloadRepository* repository_;
   Optimizer optimizer_;
   ExecOptions exec_options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  MonotonicClock* wall_clock_ = nullptr;
+  Instruments obs_;
   std::atomic<uint64_t> next_job_id_{1};
   Mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_ GUARDED_BY(pool_mu_);  // lazily created

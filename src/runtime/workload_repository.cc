@@ -17,14 +17,38 @@ double SubtreeCpuSeconds(const PlanNode& node, const PlanRuntimeStats& stats) {
   return cpu;
 }
 
+void WorkloadRepository::SetMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  Instruments inst;
+  inst.jobs_ingested =
+      metrics->GetCounter("cv_repository_jobs_ingested_total", {},
+                          "Executed jobs added to the workload repository");
+  inst.subgraphs_observed = metrics->GetCounter(
+      "cv_repository_subgraph_observations_total", {},
+      "Per-subgraph statistic rows folded into the feedback index");
+  inst.lookups =
+      metrics->GetCounter("cv_repository_lookups_total", {},
+                          "Feedback-index lookups by normalized signature");
+  inst.lookup_hits = metrics->GetCounter(
+      "cv_repository_lookup_hits_total", {},
+      "Feedback-index lookups that found observed statistics");
+  inst.indexed_subgraphs =
+      metrics->GetGauge("cv_repository_indexed_subgraphs", {},
+                        "Distinct subgraph templates with statistics");
+  MutexLock lock(mu_);
+  obs_ = inst;
+}
+
 void WorkloadRepository::AddJob(JobRecord record) {
   auto shared = std::make_shared<const JobRecord>(std::move(record));
   MutexLock lock(mu_);
   jobs_.push_back(shared);
+  if (obs_.jobs_ingested != nullptr) obs_.jobs_ingested->Increment();
 
   if (shared->plan == nullptr) return;
   // Maintain the feedback index: every subgraph of the executed plan
   // contributes its observed statistics under its normalized signature.
+  uint64_t observations = 0;
   for (const auto& entry : EnumerateSubgraphs(shared->plan)) {
     auto it = shared->run_stats.operators.find(entry.node->id());
     if (it == shared->run_stats.operators.end()) continue;
@@ -34,6 +58,11 @@ void WorkloadRepository::AddJob(JobRecord record) {
     acc.latency += it->second.inclusive_seconds;
     acc.cpu += SubtreeCpuSeconds(*entry.node, shared->run_stats.operators);
     ++acc.n;
+    ++observations;
+  }
+  if (obs_.subgraphs_observed != nullptr) {
+    obs_.subgraphs_observed->Increment(observations);
+    obs_.indexed_subgraphs->Set(static_cast<double>(feedback_.size()));
   }
 }
 
@@ -61,8 +90,10 @@ WorkloadRepository::JobsInWindow(LogicalTime from, LogicalTime to) const {
 std::optional<SubgraphObservedStats> WorkloadRepository::Lookup(
     const Hash128& normalized_signature) const {
   MutexLock lock(mu_);
+  if (obs_.lookups != nullptr) obs_.lookups->Increment();
   auto it = feedback_.find(normalized_signature);
   if (it == feedback_.end()) return std::nullopt;
+  if (obs_.lookup_hits != nullptr) obs_.lookup_hits->Increment();
   const Accumulator& acc = it->second;
   double n = static_cast<double>(acc.n);
   SubgraphObservedStats stats;

@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "exec/operator_stats.h"
+#include "obs/metrics.h"
 #include "optimizer/view_interfaces.h"
 #include "plan/plan_node.h"
 
@@ -47,6 +48,10 @@ struct JobRecord {
 /// signature so *any* future job with a common subgraph benefits.
 class WorkloadRepository : public StatsProviderInterface {
  public:
+  /// Publishes ingest counters (jobs, indexed subgraphs, feedback
+  /// lookups) into `metrics`. Call before concurrent use.
+  void SetMetrics(obs::MetricsRegistry* metrics) EXCLUDES(mu_);
+
   void AddJob(JobRecord record) EXCLUDES(mu_);
 
   size_t NumJobs() const EXCLUDES(mu_);
@@ -68,6 +73,16 @@ class WorkloadRepository : public StatsProviderInterface {
     double rows = 0, bytes = 0, latency = 0, cpu = 0;
     int64_t n = 0;
   };
+
+  struct Instruments {
+    obs::Counter* jobs_ingested = nullptr;
+    obs::Counter* subgraphs_observed = nullptr;
+    obs::Counter* lookups = nullptr;
+    obs::Counter* lookup_hits = nullptr;
+    obs::Gauge* indexed_subgraphs = nullptr;
+  };
+
+  Instruments obs_;
 
   /// Guards the job history and the feedback index together: AddJob must
   /// publish a record and its statistics atomically so concurrent Lookup

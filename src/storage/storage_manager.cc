@@ -32,13 +32,58 @@ bool ParseViewPath(const std::string& path, Hash128* normalized,
   return end != nullptr && *end == '\0' && !id_str.empty();
 }
 
+void StorageManager::SetMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  Instruments inst;
+  inst.bytes_written = metrics->GetCounter(
+      "cv_storage_bytes_written_total", {}, "Bytes written to the store");
+  inst.streams =
+      metrics->GetGauge("cv_storage_streams", {}, "Stored streams");
+  inst.total_bytes = metrics->GetGauge("cv_storage_total_bytes", {},
+                                       "Bytes across all stored streams");
+  inst.view_bytes =
+      metrics->GetGauge("cv_storage_view_bytes", {},
+                        "Bytes held by materialized views (the storage "
+                        "cost side of the reuse trade-off)");
+  inst.view_count = metrics->GetGauge("cv_storage_views", {},
+                                      "Stored materialized-view streams");
+  MutexLock lock(mu_);
+  obs_ = inst;
+  UpdateGauges();
+}
+
+void StorageManager::UpdateGauges() {
+  if (obs_.streams == nullptr) return;
+  int64_t total = 0;
+  int64_t view_bytes = 0;
+  int64_t views = 0;
+  for (const auto& [name, data] : streams_) {
+    total += data->total_bytes;
+    Hash128 normalized, precise;
+    uint64_t producer = 0;
+    if (ParseViewPath(name, &normalized, &precise, &producer)) {
+      view_bytes += data->total_bytes;
+      ++views;
+    }
+  }
+  obs_.streams->Set(static_cast<double>(streams_.size()));
+  obs_.total_bytes->Set(static_cast<double>(total));
+  obs_.view_bytes->Set(static_cast<double>(view_bytes));
+  obs_.view_count->Set(static_cast<double>(views));
+}
+
 Status StorageManager::WriteStream(StreamData data) {
   if (data.name.empty()) {
     return Status::InvalidArgument("stream name must not be empty");
   }
   auto handle = std::make_shared<StreamData>(std::move(data));
   MutexLock lock(mu_);
+  if (obs_.bytes_written != nullptr) {
+    obs_.bytes_written->Increment(
+        static_cast<uint64_t>(handle->total_bytes));
+  }
   streams_[handle->name] = std::move(handle);
+  UpdateGauges();
   return Status::OK();
 }
 
@@ -62,6 +107,7 @@ Status StorageManager::DeleteStream(const std::string& name) {
   if (streams_.erase(name) == 0) {
     return Status::NotFound("stream '" + name + "' does not exist");
   }
+  UpdateGauges();
   return Status::OK();
 }
 
@@ -77,6 +123,7 @@ size_t StorageManager::PurgeExpired() {
       ++it;
     }
   }
+  UpdateGauges();
   return purged;
 }
 

@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/mutex.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "plan/physical_properties.h"
 #include "types/batch.h"
 
@@ -55,6 +56,10 @@ class StorageManager {
  public:
   explicit StorageManager(SimulatedClock* clock) : clock_(clock) {}
 
+  /// Publishes stream/byte gauges (total and materialized-view slices) and
+  /// a written-bytes counter into `metrics`. Call before concurrent use.
+  void SetMetrics(obs::MetricsRegistry* metrics) EXCLUDES(mu_);
+
   /// Writes (or replaces) a stream. Expiry of 0 = never.
   Status WriteStream(StreamData data) EXCLUDES(mu_);
 
@@ -78,7 +83,21 @@ class StorageManager {
   SimulatedClock* clock() const { return clock_; }
 
  private:
+  /// Recomputes the level gauges from the stream map. O(streams), called
+  /// only on mutation (writes replace existing names, so deltas would be
+  /// error-prone for no gain at this scale).
+  void UpdateGauges() REQUIRES(mu_);
+
+  struct Instruments {
+    obs::Counter* bytes_written = nullptr;
+    obs::Gauge* streams = nullptr;
+    obs::Gauge* total_bytes = nullptr;
+    obs::Gauge* view_bytes = nullptr;
+    obs::Gauge* view_count = nullptr;
+  };
+
   SimulatedClock* clock_;
+  Instruments obs_;
   mutable Mutex mu_;
   std::map<std::string, StreamHandle> streams_ GUARDED_BY(mu_);
 };

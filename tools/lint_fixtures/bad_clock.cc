@@ -1,0 +1,12 @@
+// Fixture: seeded banned-clock violations (ad-hoc clock reads make timing
+// untestable; route wall time through cloudviews::MonotonicClock).
+#include <chrono>
+
+double AdHocNow() {
+  auto a = std::chrono::steady_clock::now();
+  auto b = std::chrono::system_clock::now();
+  auto c = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(a.time_since_epoch()).count() +
+         std::chrono::duration<double>(b.time_since_epoch()).count() +
+         std::chrono::duration<double>(c.time_since_epoch()).count();
+}

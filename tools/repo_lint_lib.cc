@@ -181,9 +181,14 @@ std::vector<Violation> LintFile(const std::string& display_path,
       rel_path.size() >= 2 && rel_path.rfind(".h") == rel_path.size() - 2;
   const bool in_random = PathContains(rel_path, "common/random");
   const bool is_mutex_header = PathContains(rel_path, "common/mutex.h");
+  const bool in_clock =
+      PathContains(rel_path, "common/clock") ||
+      PathContains(rel_path, "src/obs/");
 
   static const std::vector<std::string> kRandomTokens = {
       "std::rand", "srand", "random_device", "time(nullptr)", "time(NULL)"};
+  static const std::vector<std::string> kClockTokens = {
+      "steady_clock", "system_clock", "high_resolution_clock"};
   static const std::vector<std::string> kSyncTokens = {
       "std::mutex",       "std::condition_variable", "std::lock_guard",
       "std::unique_lock", "std::scoped_lock",        "std::shared_mutex",
@@ -257,6 +262,13 @@ std::vector<Violation> LintFile(const std::string& display_path,
                      "'" + which +
                          "' outside common/random; use cloudviews::Rng so "
                          "runs stay reproducible"});
+    }
+    if (!in_clock && ContainsAnyToken(text, kClockTokens, &which)) {
+      out.push_back({display_path, line_no, "banned-clock",
+                     "'" + which +
+                         "' outside common/clock.h and src/obs; use "
+                         "MonotonicClock / MonotonicNowSeconds so time is "
+                         "injectable in tests"});
     }
     if (!is_mutex_header && ContainsAnyToken(text, kSyncTokens, &which)) {
       out.push_back({display_path, line_no, "banned-sync",

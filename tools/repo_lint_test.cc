@@ -49,6 +49,25 @@ TEST(RepoLintTest, BannedRandomAllowedInsideCommonRandom) {
   EXPECT_TRUE(violations.empty());
 }
 
+TEST(RepoLintTest, BannedClockFires) {
+  auto violations = LintFixture("bad_clock.cc");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"banned-clock"});
+  // steady_clock, system_clock, high_resolution_clock.
+  EXPECT_GE(violations.size(), 3u);
+}
+
+TEST(RepoLintTest, BannedClockAllowedInClockHeaderAndObs) {
+  EXPECT_TRUE(LintFile("clock.h", "src/common/clock.h",
+                       "#ifndef CLOUDVIEWS_COMMON_CLOCK_H_\n"
+                       "#define CLOUDVIEWS_COMMON_CLOCK_H_\n"
+                       "auto t = std::chrono::steady_clock::now();\n"
+                       "#endif\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("metrics.cc", "src/obs/metrics.cc",
+                       "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
 TEST(RepoLintTest, BannedSyncFires) {
   auto violations = LintFixture("bad_sync.cc");
   EXPECT_EQ(Rules(violations), std::set<std::string>{"banned-sync"});
