@@ -41,6 +41,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Type error";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kViewUnavailable:
+      return "View unavailable";
   }
   return "Unknown";
 }

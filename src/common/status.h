@@ -24,6 +24,9 @@ enum class StatusCode : int {
   kParseError = 9,
   kTypeError = 10,
   kIOError = 11,
+  /// A materialized view could not be read; the job must transparently
+  /// fall back to its original (non-rewritten) plan rather than fail.
+  kViewUnavailable = 12,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -90,6 +93,9 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status ViewUnavailable(std::string msg) {
+    return Status(StatusCode::kViewUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return state_ == nullptr; }
   [[nodiscard]] StatusCode code() const {
@@ -120,6 +126,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] bool IsTypeError() const {
     return code() == StatusCode::kTypeError;
+  }
+  [[nodiscard]] bool IsIOError() const {
+    return code() == StatusCode::kIOError;
+  }
+  [[nodiscard]] bool IsViewUnavailable() const {
+    return code() == StatusCode::kViewUnavailable;
   }
 
   /// Returns "OK" or "<code name>: <message>".

@@ -8,18 +8,24 @@ CloudViews::CloudViews(CloudViewsConfig config)
     : config_(config), clock_(config.clock_start),
       tracer_(config.wall_clock) {
   storage_ = std::make_unique<StorageManager>(&clock_);
-  metadata_ = std::make_unique<MetadataService>(&clock_, storage_.get(),
-                                                config.metadata);
+  metadata_ = std::make_unique<MetadataService>(
+      &clock_, storage_.get(), config.metadata, config.wall_clock);
   repository_ = std::make_unique<WorkloadRepository>();
   job_service_ = std::make_unique<JobService>(
       &clock_, storage_.get(), metadata_.get(), repository_.get(),
-      config.optimizer, config.exec);
+      config.optimizer, config.exec, config.fault, config.retry,
+      config.sleeper);
+  if (config_.fault != nullptr) {
+    storage_->SetFaultInjector(config_.fault);
+    metadata_->SetFaultInjector(config_.fault);
+  }
   if (config_.enable_observability) {
     storage_->SetMetrics(&metrics_);
     metadata_->SetMetrics(&metrics_, config_.wall_clock);
     repository_->SetMetrics(&metrics_);
     job_service_->SetObservability(&metrics_, &tracer_,
                                    config_.wall_clock);
+    if (config_.fault != nullptr) config_.fault->SetMetrics(&metrics_);
   }
 }
 

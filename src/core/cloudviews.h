@@ -5,6 +5,8 @@
 
 #include "analyzer/analyzer.h"
 #include "common/mutex.h"
+#include "fault/backoff.h"
+#include "fault/fault_injector.h"
 #include "metadata/metadata_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,9 +26,20 @@ struct CloudViewsConfig {
   /// (storage, metadata, repository, job service, executor, thread pool).
   /// Off disables all instrumentation — the null-pointer fast paths.
   bool enable_observability = true;
-  /// Wall-time source for metrics/spans; null uses the real monotonic
-  /// clock. Tests inject a FakeMonotonicClock for deterministic profiles.
+  /// Wall-time source for metrics/spans AND for the metadata service's
+  /// build-lock leases; null uses the real monotonic clock. Tests inject a
+  /// FakeMonotonicClock for deterministic profiles and lease expiry.
   MonotonicClock* wall_clock = nullptr;
+  /// Deterministic fault injector threaded through storage, metadata, and
+  /// the executor (see src/fault/). Null (default) disables injection; the
+  /// degradation machinery — retries, fallback-to-original-plan, lease
+  /// reclamation — still protects against genuine failures.
+  fault::FaultInjector* fault = nullptr;
+  /// Backoff schedule for transient storage/metadata retries.
+  fault::RetryPolicy retry;
+  /// Sleep seam between retry attempts; null sleeps for real. Tests inject
+  /// a RecordingSleeper so fault runs never wait.
+  fault::Sleeper* sleeper = nullptr;
 };
 
 /// \brief The end-to-end CLOUDVIEWS system (Fig 6): an analytics job

@@ -104,6 +104,12 @@ std::string ExplainJob(const JobResult& result) {
       "candidate(s) rejected on cost, %d build lock(s) denied\n",
       result.views_reused, result.views_materialized,
       result.reuse_rejected_by_cost, result.materialize_lock_denied);
+  if (result.views_fallback > 0 || result.lookup_degraded) {
+    out += StrFormat(
+        "  degraded: %d view read(s) fell back to the original plan%s\n",
+        result.views_fallback,
+        result.lookup_degraded ? ", metadata lookup unavailable" : "");
+  }
 
   if (result.executed_plan == nullptr) return out;
   std::vector<PlanNode*> nodes;
@@ -176,6 +182,8 @@ std::string JobProfileJson(const JobResult& result) {
   w.Key("views_materialized").Int(result.views_materialized);
   w.Key("reuse_rejected_by_cost").Int(result.reuse_rejected_by_cost);
   w.Key("materialize_lock_denied").Int(result.materialize_lock_denied);
+  w.Key("views_fallback").Int(result.views_fallback);
+  w.Key("lookup_degraded").Bool(result.lookup_degraded);
   w.Key("run").BeginObject();
   w.Key("latency_seconds").Double(result.run_stats.latency_seconds);
   w.Key("cpu_seconds").Double(result.run_stats.cpu_seconds);

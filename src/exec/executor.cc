@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "exec/batch_ops.h"
 #include "exec/physical_operator.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 
 namespace cloudviews {
@@ -297,6 +298,17 @@ Result<MorselSet> Executor::ExecuteNodeImpl(PlanNode* node,
     std::vector<Status> morsel_status(n, Status::OK());
     ParallelFor(state->pool, n, [&](size_t m) {
       ScopedThreadCpuTimer timer(&cpu);
+      if (ctx_.fault != nullptr) {
+        Status injected = ctx_.fault->MaybeInject(
+            fault::points::kExecMorsel,
+            std::to_string(ctx_.job_id) + ":" +
+                std::to_string(node->id()) + ":" + std::to_string(phase) +
+                ":" + std::to_string(m));
+        if (!injected.ok()) {
+          morsel_status[m] = std::move(injected);
+          return;
+        }
+      }
       morsel_status[m] = op->ProcessMorsel(octx, phase, m);
     });
     // Deterministic error selection: lowest morsel index wins.

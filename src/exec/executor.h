@@ -8,10 +8,15 @@
 #include "exec/exec_options.h"
 #include "exec/morsel.h"
 #include "exec/operator_stats.h"
+#include "fault/backoff.h"
 #include "plan/plan_node.h"
 #include "storage/storage_manager.h"
 
 namespace cloudviews {
+
+namespace fault {
+class FaultInjector;
+}  // namespace fault
 
 class MonotonicClock;
 class ThreadPool;
@@ -48,6 +53,20 @@ struct ExecContext {
   /// Expiry assigned to views materialized by this job (0 = never); set
   /// from the analyzer's lineage-based estimate (Sec 5.4).
   LogicalTime view_expiry = 0;
+
+  /// Invoked when a SpoolNode's view write failed and the partial output
+  /// was discarded ("do no harm": the job continues on the spool's input).
+  /// The job manager releases the build lock from here.
+  std::function<void(const SpoolNode&, const Status&)> on_view_abandoned;
+
+  /// Fault-injection seam for exec.morsel (and, via storage, the
+  /// storage.* points). Null disables injection.
+  fault::FaultInjector* fault = nullptr;
+  /// Backoff schedule for transient view-read retries.
+  fault::RetryPolicy retry;
+  /// Sleeps between retries; null means the real sleeper. Tests inject a
+  /// RecordingSleeper so retries are instantaneous and assertable.
+  fault::Sleeper* sleeper = nullptr;
 };
 
 /// \brief Morsel-driven executor over the storage manager.

@@ -10,6 +10,8 @@
 #include "common/guid.h"
 #include "exec/batch_ops.h"
 #include "exec/processor_registry.h"
+#include "fault/backoff.h"
+#include "fault/fault_injector.h"
 #include "expr/aggregate.h"
 
 namespace cloudviews {
@@ -71,8 +73,24 @@ class ViewReadOperator : public PhysicalOperator {
   Status Open(OperatorContext& ctx, std::vector<MorselSet> inputs) override {
     CV_RETURN_NOT_OK(PhysicalOperator::Open(ctx, std::move(inputs)));
     auto* view = static_cast<ViewReadNode*>(node_);
-    CV_ASSIGN_OR_RETURN(stream_,
-                        ctx.exec->storage->OpenStream(view->view_path()));
+    // A view read is an optimization, never a correctness dependency:
+    // retry transient failures, then surface kViewUnavailable so the job
+    // manager falls back to the original (non-rewritten) plan instead of
+    // failing the job (the ReStore principle; see DESIGN.md).
+    Status open = fault::RetryWithBackoff(
+        ctx.exec->retry,
+        [&]() -> Status {
+          auto r = ctx.exec->storage->OpenStream(view->view_path());
+          if (!r.ok()) return r.status();
+          stream_ = std::move(r).ValueOrDie();
+          return Status::OK();
+        },
+        ctx.exec->sleeper);
+    if (!open.ok()) {
+      return Status::ViewUnavailable("view '" + view->view_path() +
+                                     "' could not be read: " +
+                                     open.ToString());
+    }
     // The view's partitions are each sorted per its design; the node
     // advertises that order, so restore it globally across partitions
     // (the k-way merge a distributed reader performs).
@@ -991,7 +1009,32 @@ class SpoolOperator : public PhysicalOperator {
     StreamData view = MakeStreamData(spool->view_path(), GenerateGuid(),
                                      in.schema(), std::move(stored), now,
                                      expiry, spool->design());
-    CV_RETURN_NOT_OK(ctx.exec->storage->WriteStream(view));
+    Status write = ctx.exec->storage->WriteStream(view);
+    if (!write.ok()) {
+      // "Do no harm": materialization is an optimization, so a failed (or
+      // torn) view write must not fail the job. Discard any partial, hand
+      // the build lock back through on_view_abandoned, and pass the
+      // spool's input through unchanged.
+      // Intentional drop: a cleanly failed write stored nothing, so there
+      // may be no stream to delete.
+      (void)ctx.exec->storage->DeleteStream(spool->view_path());
+      if (ctx.exec->on_view_abandoned) {
+        ctx.exec->on_view_abandoned(*spool, write);
+      }
+      return std::move(inputs_[0]);
+    }
+    if (ctx.exec->fault != nullptr) {
+      Status crash = ctx.exec->fault->MaybeInject(
+          fault::points::kBuilderCrash, spool->view_path());
+      if (!crash.ok()) {
+        // Simulated builder death between write and registration: the
+        // build lock stays held and the unregistered file stays in the
+        // store. Recovery is the lease machinery's job (lease expiry,
+        // takeover orphan cleanup, stale-registration fencing) — no
+        // in-process cleanup may run, the "process" is gone.
+        return crash;
+      }
+    }
     // Early materialization: publish before the job finishes (Sec 6.4).
     if (ctx.exec->on_view_materialized) {
       ctx.exec->on_view_materialized(*spool, view);

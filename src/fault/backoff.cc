@@ -1,0 +1,50 @@
+#include "fault/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace cloudviews {
+namespace fault {
+
+namespace {
+
+class RealSleeper : public Sleeper {
+ public:
+  void Sleep(double seconds) override {
+    if (seconds <= 0) return;
+    // The one sanctioned direct sleep in the repo: every retry loop goes
+    // through this injectable seam (repo_lint "banned-sleep" exempts only
+    // this file), so tests substitute a RecordingSleeper and never wait.
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+};
+
+}  // namespace
+
+Sleeper* Sleeper::Real() {
+  static RealSleeper* real = new RealSleeper();  // NOLINT(naked-new): leaked singleton, immortal by design
+  return real;
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& fn, Sleeper* sleeper,
+                        int* retries) {
+  if (sleeper == nullptr) sleeper = Sleeper::Real();
+  const int attempts = std::max(1, policy.max_attempts);
+  double backoff = policy.initial_backoff_seconds;
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      sleeper->Sleep(std::min(backoff, policy.max_backoff_seconds));
+      backoff *= policy.backoff_multiplier;
+      if (retries != nullptr) ++*retries;
+    }
+    last = fn();
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+}  // namespace fault
+}  // namespace cloudviews

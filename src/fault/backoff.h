@@ -1,0 +1,72 @@
+#ifndef CLOUDVIEWS_FAULT_BACKOFF_H_
+#define CLOUDVIEWS_FAULT_BACKOFF_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace cloudviews {
+namespace fault {
+
+/// \brief Capped exponential backoff for transient storage/metadata errors.
+///
+/// Attempt k (1-based) sleeps `initial_backoff_seconds * multiplier^(k-1)`
+/// (capped at `max_backoff_seconds`) before attempt k+1. The schedule is a
+/// pure function of the policy — no jitter — so a retried run is
+/// reproducible and tests can assert the exact sleep sequence.
+struct RetryPolicy {
+  /// Total attempts, including the first. <= 1 means no retries.
+  int max_attempts = 3;
+  double initial_backoff_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.010;
+};
+
+/// \brief Injectable sleep, so retry loops never call sleep_for directly
+/// (repo_lint enforces this) and tests run at full speed.
+class Sleeper {
+ public:
+  virtual ~Sleeper() = default;
+  virtual void Sleep(double seconds) = 0;
+
+  /// Process-wide sleeper backed by the real clock.
+  static Sleeper* Real();
+};
+
+/// Test sleeper: records the requested durations and returns immediately.
+class RecordingSleeper : public Sleeper {
+ public:
+  void Sleep(double seconds) override EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    sleeps_.push_back(seconds);
+  }
+  std::vector<double> sleeps() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return sleeps_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<double> sleeps_ GUARDED_BY(mu_);
+};
+
+/// \brief Runs `fn` up to `policy.max_attempts` times, sleeping the backoff
+/// schedule between attempts. Returns the first OK status, or the last
+/// error once attempts are exhausted. A null `sleeper` means Sleeper::Real().
+///
+/// Every failure is retried: callers wrap only operations whose failures
+/// may be transient (storage reads/writes, metadata lookups). The retry
+/// count (attempts beyond the first) is reported through `retries` when
+/// non-null.
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& fn,
+                        Sleeper* sleeper = nullptr,
+                        int* retries = nullptr);
+
+}  // namespace fault
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_FAULT_BACKOFF_H_

@@ -9,7 +9,8 @@ namespace cloudviews {
 void MetadataService::SetMetrics(obs::MetricsRegistry* metrics,
                                  MonotonicClock* wall_clock) {
   if (metrics == nullptr) return;
-  wall_clock_ = wall_clock != nullptr ? wall_clock : MonotonicClock::Real();
+  // Keep a constructor-injected lease clock unless explicitly overridden.
+  if (wall_clock != nullptr) wall_clock_ = wall_clock;
   obs_.lookups = metrics->GetCounter("cv_metadata_lookups_total", {},
                                      "Tag-inverted-index lookups (one per "
                                      "submitted job, Fig 9 step 1)");
@@ -25,6 +26,17 @@ void MetadataService::SetMetrics(obs::MetricsRegistry* metrics,
   obs_.locks_denied = metrics->GetCounter(
       "cv_metadata_build_locks_denied_total", {},
       "Build-lock proposals denied (already built or being built)");
+  obs_.locks_abandoned =
+      metrics->GetCounter("cv_metadata_build_locks_abandoned_total", {},
+                          "Build locks released without registering a view "
+                          "(failed or discarded materializing jobs)");
+  obs_.leases_reclaimed = metrics->GetCounter(
+      "cv_metadata_lock_leases_reclaimed_total", {},
+      "Expired build-lock leases taken over from presumed-dead builders");
+  obs_.stale_registrations = metrics->GetCounter(
+      "cv_metadata_stale_registrations_total", {},
+      "ReportMaterialized calls rejected by lease fencing or because "
+      "another producer already registered the view");
   obs_.views_registered =
       metrics->GetCounter("cv_metadata_views_registered_total", {},
                           "Materialized views registered");
@@ -81,6 +93,19 @@ std::vector<ViewAnnotation> MetadataService::GetRelevantViews(
   return out;
 }
 
+Result<std::vector<ViewAnnotation>> MetadataService::TryGetRelevantViews(
+    const std::vector<std::string>& tags, double* latency_seconds) const {
+  if (fault_ != nullptr) {
+    std::string key;
+    for (const auto& tag : tags) {
+      if (!key.empty()) key += '|';
+      key += tag;
+    }
+    CV_RETURN_NOT_OK(fault_->MaybeInject(fault::points::kMetadataLookup, key));
+  }
+  return GetRelevantViews(tags, latency_seconds);
+}
+
 std::optional<ViewAnnotation> MetadataService::FindAnnotation(
     const Hash128& normalized) const {
   MutexLock lock(mu_);
@@ -121,41 +146,114 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
                                          const Hash128& precise,
                                          uint64_t job_id,
                                          double expected_build_seconds) {
-  (void)normalized;
-  obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
-  ++counters_.proposals;
-  if (views_.count(precise) > 0) {
-    ++counters_.locks_denied;
-    if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
-    return false;  // already materialized
+  if (fault_ != nullptr) {
+    Status injected =
+        fault_->MaybeInject(fault::points::kMetadataPropose, precise.ToHex());
+    if (!injected.ok()) {
+      // A proposal the service never answered is indistinguishable from a
+      // denial to the job: it simply runs without materializing this view.
+      MutexLock lock(mu_);
+      ++counters_.proposals;
+      ++counters_.locks_denied;
+      if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
+      return false;
+    }
   }
-  LogicalTime now = clock_->Now();
-  auto it = locks_.find(precise);
-  if (it != locks_.end() && it->second.expires_at > now) {
-    ++counters_.locks_denied;
-    if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
-    return false;  // a concurrent job is building this view
+  // Orphaned files of a reclaimed lease are deleted after mu_ is released
+  // (same metadata-first ordering as PurgeExpired, Sec 5.4).
+  std::string orphan_prefix;
+  {
+    obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
+    ++counters_.proposals;
+    if (views_.count(precise) > 0) {
+      ++counters_.locks_denied;
+      if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
+      return false;  // already materialized
+    }
+    LogicalTime now = clock_->Now();
+    double wall_now = wall_clock_->NowSeconds();
+    auto it = locks_.find(precise);
+    if (it != locks_.end()) {
+      if (!LockExpired(it->second, now, wall_now)) {
+        ++counters_.locks_denied;
+        if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
+        return false;  // a concurrent job is building this view
+      }
+      if (it->second.job_id != job_id) {
+        // Lease takeover: the previous builder is presumed dead. Whatever
+        // it wrote under this signature was never registered — collect it
+        // for deletion so the new build starts clean.
+        ++counters_.leases_reclaimed;
+        if (obs_.leases_reclaimed != nullptr) {
+          obs_.leases_reclaimed->Increment();
+        }
+        orphan_prefix =
+            "/views/" + normalized.ToHex() + "/" + precise.ToHex() + "_";
+      }
+    }
+    double expiry_seconds =
+        std::max(config_.min_lock_seconds,
+                 config_.lock_expiry_multiplier * expected_build_seconds);
+    locks_[precise] =
+        BuildLock{job_id, now + static_cast<LogicalTime>(expiry_seconds),
+                  wall_now + expiry_seconds};
+    ++counters_.locks_granted;
+    if (obs_.locks_granted != nullptr) obs_.locks_granted->Increment();
   }
-  double expiry_seconds =
-      std::max(config_.min_lock_seconds,
-               config_.lock_expiry_multiplier * expected_build_seconds);
-  locks_[precise] =
-      BuildLock{job_id, now + static_cast<LogicalTime>(expiry_seconds)};
-  ++counters_.locks_granted;
-  if (obs_.locks_granted != nullptr) obs_.locks_granted->Increment();
+  if (!orphan_prefix.empty()) {
+    size_t cleaned = 0;
+    for (const auto& name : storage_->ListStreams(orphan_prefix)) {
+      // Intentional drop: racing deletions of an unregistered orphan are
+      // harmless — someone removed it, which is all we need.
+      (void)storage_->DeleteStream(name);
+      ++cleaned;
+    }
+    if (cleaned > 0) {
+      MutexLock lock(mu_);
+      counters_.orphans_cleaned += cleaned;
+    }
+  }
   return true;
 }
 
-void MetadataService::ReportMaterialized(const MaterializedViewInfo& info,
-                                         LogicalTime expires_at) {
+Status MetadataService::ReportMaterialized(const MaterializedViewInfo& info,
+                                          LogicalTime expires_at) {
   obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
+  auto reject = [this](Status status) {
+    ++counters_.stale_registrations_rejected;
+    if (obs_.stale_registrations != nullptr) {
+      obs_.stale_registrations->Increment();
+    }
+    return status;
+  };
+  auto vit = views_.find(info.precise_signature);
+  if (vit != views_.end()) {
+    if (vit->second.info.producer_job_id == info.producer_job_id) {
+      return Status::OK();  // idempotent re-report by the same producer
+    }
+    return reject(Status::AlreadyExists(
+        "view " + info.precise_signature.ToHex() +
+        " already registered by job " +
+        std::to_string(vit->second.info.producer_job_id)));
+  }
+  auto lit = locks_.find(info.precise_signature);
+  if (lit != locks_.end() && lit->second.job_id != info.producer_job_id) {
+    // Lease fencing: this builder's lock expired and another job took the
+    // lease. Its registration is stale — the new builder owns the view.
+    return reject(Status::Expired(
+        "build lock for view " + info.precise_signature.ToHex() +
+        " is now held by job " + std::to_string(lit->second.job_id) +
+        "; stale registration by job " +
+        std::to_string(info.producer_job_id) + " rejected"));
+  }
+  if (lit != locks_.end()) locks_.erase(lit);
   views_[info.precise_signature] = RegisteredView{info, expires_at};
-  locks_.erase(info.precise_signature);
   ++counters_.views_registered;
   if (obs_.views_registered != nullptr) {
     obs_.views_registered->Increment();
     obs_.registered_views->Set(static_cast<double>(views_.size()));
   }
+  return Status::OK();
 }
 
 void MetadataService::AbandonLock(const Hash128& precise, uint64_t job_id) {
@@ -163,6 +261,8 @@ void MetadataService::AbandonLock(const Hash128& precise, uint64_t job_id) {
   auto it = locks_.find(precise);
   if (it != locks_.end() && it->second.job_id == job_id) {
     locks_.erase(it);
+    ++counters_.locks_abandoned;
+    if (obs_.locks_abandoned != nullptr) obs_.locks_abandoned->Increment();
   }
 }
 
@@ -223,6 +323,21 @@ size_t MetadataService::NumRegisteredViews() const {
 size_t MetadataService::NumAnnotations() const {
   MutexLock lock(mu_);
   return computations_.size();
+}
+
+size_t MetadataService::NumActiveLocks() const {
+  MutexLock lock(mu_);
+  return locks_.size();
+}
+
+std::vector<std::pair<Hash128, uint64_t>> MetadataService::HeldLocks() const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<Hash128, uint64_t>> out;
+  out.reserve(locks_.size());
+  for (const auto& [precise, held] : locks_) {
+    out.emplace_back(precise, held.job_id);
+  }
+  return out;
 }
 
 std::vector<MaterializedViewInfo> MetadataService::ListViews() const {

@@ -5,10 +5,13 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/mutex.h"
+#include "common/result.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "optimizer/view_interfaces.h"
 #include "storage/storage_manager.h"
@@ -41,16 +44,30 @@ struct AnnotatedComputation {
 /// cluster.
 class MetadataService : public ViewCatalogInterface {
  public:
+  /// `wall_clock` drives build-lock *leases* (and instrument timing): a
+  /// lock is also considered expired once `min_lock_seconds * multiplier`
+  /// wall seconds elapse, so a crashed builder's lock is reclaimed even if
+  /// nobody advances the simulated clock. Null means the real clock; tests
+  /// inject a FakeMonotonicClock to exercise lease expiry deterministically.
   MetadataService(SimulatedClock* clock, StorageManager* storage,
-                  MetadataServiceConfig config = {})
-      : clock_(clock), storage_(storage), config_(config) {}
+                  MetadataServiceConfig config = {},
+                  MonotonicClock* wall_clock = nullptr)
+      : clock_(clock),
+        storage_(storage),
+        config_(config),
+        wall_clock_(wall_clock != nullptr ? wall_clock
+                                          : MonotonicClock::Real()) {}
 
   /// Publishes lookup/hit-miss/lock counters and the service-mutex wait
   /// histogram (the contention signal for the Sec 6.1 exclusive build
-  /// locks) into `metrics`. `wall_clock` times the mutex waits; null uses
-  /// the real monotonic clock. Call before concurrent use.
+  /// locks) into `metrics`. `wall_clock` times the mutex waits; null keeps
+  /// the constructor-supplied (or real) clock. Call before concurrent use.
   void SetMetrics(obs::MetricsRegistry* metrics,
                   MonotonicClock* wall_clock = nullptr);
+
+  /// Routes lookups/proposals through `fault` (metadata.lookup and
+  /// metadata.propose points). Call before concurrent use; null disables.
+  void SetFaultInjector(fault::FaultInjector* fault) { fault_ = fault; }
 
   /// Installs a new analysis (replacing the previous one), rebuilding the
   /// tag inverted index. Called when the analyzer output is refreshed.
@@ -62,6 +79,13 @@ class MetadataService : public ViewCatalogInterface {
   /// optimizer re-matches signatures). Returns the simulated service
   /// latency through `latency_seconds` when non-null.
   std::vector<ViewAnnotation> GetRelevantViews(
+      const std::vector<std::string>& tags,
+      double* latency_seconds = nullptr) const EXCLUDES(mu_);
+
+  /// Fallible variant of GetRelevantViews: the metadata.lookup injection
+  /// point (keyed by the joined tags) models a lookup timeout. Callers
+  /// must degrade to running without reuse, never fail the job.
+  Result<std::vector<ViewAnnotation>> TryGetRelevantViews(
       const std::vector<std::string>& tags,
       double* latency_seconds = nullptr) const EXCLUDES(mu_);
 
@@ -86,12 +110,21 @@ class MetadataService : public ViewCatalogInterface {
   /// Step 5/6 of Fig 9: registers the materialized view and releases the
   /// build lock. Invoked on early materialization, i.e. possibly before
   /// the producing job finishes (Sec 6.4).
-  void ReportMaterialized(const MaterializedViewInfo& info,
-                          LogicalTime expires_at) EXCLUDES(mu_);
+  ///
+  /// Registration is fenced: once a builder's lease expired and another
+  /// job reclaimed the lock, the stale builder's registration is rejected
+  /// (kExpired); a view already registered by a different producer is
+  /// rejected with kAlreadyExists (re-reporting by the same producer is
+  /// idempotent OK). Callers must drop their written view file on
+  /// rejection — the metadata decision is authoritative.
+  Status ReportMaterialized(const MaterializedViewInfo& info,
+                            LogicalTime expires_at) EXCLUDES(mu_);
 
   /// Releases a build lock without registering (job failed after
-  /// proposing). The lock also auto-expires.
-  void AbandonLock(const Hash128& precise, uint64_t job_id) EXCLUDES(mu_);
+  /// proposing). Idempotent; only the owning job's lock is released. The
+  /// lock also auto-expires (logical expiry or wall lease).
+  void AbandonLock(const Hash128& precise, uint64_t job_id) override
+      EXCLUDES(mu_);
 
   /// Removes expired views from the metadata *first*, then deletes their
   /// files (Sec 5.4 ordering). Returns the number of views purged.
@@ -107,6 +140,10 @@ class MetadataService : public ViewCatalogInterface {
     uint64_t proposals = 0;
     uint64_t locks_granted = 0;
     uint64_t locks_denied = 0;
+    uint64_t locks_abandoned = 0;
+    uint64_t leases_reclaimed = 0;
+    uint64_t stale_registrations_rejected = 0;
+    uint64_t orphans_cleaned = 0;
     uint64_t views_registered = 0;
     uint64_t views_purged = 0;
   };
@@ -116,6 +153,13 @@ class MetadataService : public ViewCatalogInterface {
   size_t NumAnnotations() const EXCLUDES(mu_);
   std::vector<MaterializedViewInfo> ListViews() const EXCLUDES(mu_);
 
+  /// Build locks currently held (expired-but-unreclaimed included). The
+  /// leak-freedom invariant tested after every workload: this must be
+  /// empty once all jobs have finished.
+  size_t NumActiveLocks() const EXCLUDES(mu_);
+  /// (precise signature, owning job) of every held lock, for diagnostics.
+  std::vector<std::pair<Hash128, uint64_t>> HeldLocks() const EXCLUDES(mu_);
+
   /// Simulated per-request latency under the configured thread count.
   double SimulatedLookupLatency() const;
 
@@ -123,6 +167,11 @@ class MetadataService : public ViewCatalogInterface {
   struct BuildLock {
     uint64_t job_id;
     LogicalTime expires_at;
+    /// Wall-clock lease deadline (wall_clock_->NowSeconds() scale). A lock
+    /// is expired when EITHER timeline passes: simulation-driven tests
+    /// advance the logical clock, while a genuinely crashed builder is
+    /// fenced out by the wall lease even if logical time stands still.
+    double lease_deadline_wall = 0;
   };
   struct RegisteredView {
     MaterializedViewInfo info;
@@ -136,16 +185,27 @@ class MetadataService : public ViewCatalogInterface {
     obs::Counter* misses = nullptr;
     obs::Counter* locks_granted = nullptr;
     obs::Counter* locks_denied = nullptr;
+    obs::Counter* locks_abandoned = nullptr;
+    obs::Counter* leases_reclaimed = nullptr;
+    obs::Counter* stale_registrations = nullptr;
     obs::Counter* views_registered = nullptr;
     obs::Counter* views_purged = nullptr;
     obs::Gauge* registered_views = nullptr;
     obs::Histogram* lock_wait = nullptr;
   };
 
+  /// True when `lock` is expired on either timeline; see BuildLock.
+  bool LockExpired(const BuildLock& lock, LogicalTime now,
+                   double wall_now) const REQUIRES(mu_) {
+    return lock.expires_at <= now || lock.lease_deadline_wall <= wall_now;
+  }
+
   SimulatedClock* clock_;
   StorageManager* storage_;
   MetadataServiceConfig config_;
-  MonotonicClock* wall_clock_ = nullptr;
+  MonotonicClock* wall_clock_;
+  /// Set once before concurrent use, read-only afterwards.
+  fault::FaultInjector* fault_ = nullptr;
   Instruments obs_;
 
   /// One service-wide lock: guards the analyzer output + tag inverted

@@ -73,7 +73,23 @@ Result<OptimizedPlan> Optimizer::Optimize(const PlanNodePtr& logical,
         std::move(root), annotations, ctx.job_id,
         config_.max_materialized_views_per_job, root->estimates().cost,
         config_.max_materialize_cost_fraction, &mat_stats);
-    CV_RETURN_NOT_OK(root->Bind());
+    Status bound = root->Bind();
+    if (!bound.ok()) {
+      // The plan now carries build locks taken by ApplyMaterialization;
+      // if it is discarded here they would leak until lease expiry.
+      // Release them before surfacing the error.
+      if (ctx.view_catalog != nullptr) {
+        std::vector<PlanNode*> nodes;
+        CollectNodes(root.get(), &nodes);
+        for (PlanNode* n : nodes) {
+          if (n->kind() == OpKind::kSpool) {
+            ctx.view_catalog->AbandonLock(
+                static_cast<SpoolNode*>(n)->precise_signature(), ctx.job_id);
+          }
+        }
+      }
+      return bound;
+    }
     cost_model_.Annotate(root.get(), ctx.feedback, ctx.storage);
     AssignNodeIds(root.get());
     span.SetAttribute("views_materialized",

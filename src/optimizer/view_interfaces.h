@@ -62,6 +62,15 @@ class ViewCatalogInterface {
   virtual bool ProposeMaterialize(const Hash128& normalized,
                                   const Hash128& precise, uint64_t job_id,
                                   double expected_build_seconds) = 0;
+
+  /// Releases a build lock taken by ProposeMaterialize without registering
+  /// a view (the owning job failed or its plan was discarded before the
+  /// spool ran). Must be idempotent and a no-op when `job_id` does not own
+  /// the lock. Default no-op for catalogs that never grant locks.
+  virtual void AbandonLock(const Hash128& precise, uint64_t job_id) {
+    (void)precise;
+    (void)job_id;
+  }
 };
 
 /// Runtime statistics observed for a subgraph template in prior runs.

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "fault/fault_injector.h"
+
 namespace cloudviews {
 
 ThreadPool* JobService::ExecutionPool(const ExecOptions& opts) {
@@ -60,6 +62,26 @@ void JobService::SetObservability(obs::MetricsRegistry* metrics,
   obs_.mat_skipped = metrics->GetCounter(
       "cv_rewrite_materialize_skipped_by_cost_total", {},
       "Materializations skipped by the write-cost gate");
+  obs_.views_fallback = metrics->GetCounter(
+      "cv_jobs_views_fallback_total", {},
+      "View reads abandoned because the view was unavailable; the job "
+      "re-ran its original plan (do-no-harm fallback)");
+  obs_.fallback_jobs =
+      metrics->GetCounter("cv_jobs_fallback_total", {},
+                          "Jobs that fell back to their original plan "
+                          "after a view-read failure");
+  obs_.lookup_degraded =
+      metrics->GetCounter("cv_jobs_lookup_degraded_total", {},
+                          "Jobs that ran without reuse information after "
+                          "persistent metadata-lookup failures");
+  obs_.views_abandoned =
+      metrics->GetCounter("cv_views_abandoned_total", {},
+                          "Partially materialized views discarded after a "
+                          "failed view write (build lock released)");
+  obs_.stale_registrations =
+      metrics->GetCounter("cv_views_stale_registration_dropped_total", {},
+                          "View files deleted because the metadata service "
+                          "rejected their registration");
 }
 
 std::vector<std::string> JobService::DefaultTags(const JobDefinition& def) {
@@ -68,6 +90,42 @@ std::vector<std::string> JobService::DefaultTags(const JobDefinition& def) {
   tags.push_back("vc:" + def.vc);
   tags.push_back("user:" + def.user);
   return tags;
+}
+
+void JobService::AbandonSpoolLocks(const PlanNodePtr& root, uint64_t job_id) {
+  if (metadata_ == nullptr || root == nullptr) return;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(root, &nodes);
+  for (PlanNode* n : nodes) {
+    if (n->kind() == OpKind::kSpool) {
+      metadata_->AbandonLock(static_cast<SpoolNode*>(n)->precise_signature(),
+                             job_id);
+    }
+  }
+}
+
+void JobService::RegisterMaterializedView(const SpoolNode& spool,
+                                          const StreamData& view,
+                                          uint64_t job_id) {
+  MaterializedViewInfo info;
+  info.path = spool.view_path();
+  info.normalized_signature = spool.normalized_signature();
+  info.precise_signature = spool.precise_signature();
+  info.producer_job_id = job_id;
+  info.design = spool.design();
+  info.rows = static_cast<double>(view.total_rows);
+  info.bytes = static_cast<double>(view.total_bytes);
+  Status registered = metadata_->ReportMaterialized(info, view.expires_at);
+  if (!registered.ok()) {
+    // Fenced out (our lease expired) or another producer won: the
+    // registered copy is authoritative, so drop the bytes we wrote.
+    // Intentional drop: the file may already have been cleaned up by the
+    // lease takeover.
+    (void)storage_->DeleteStream(info.path);
+    if (obs_.stale_registrations != nullptr) {
+      obs_.stale_registrations->Increment();
+    }
+  }
 }
 
 Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
@@ -118,8 +176,26 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
         def.tags.empty() ? DefaultTags(def) : def.tags;
     double lookup_start = wall->NowSeconds();
     obs::Span span = job_span.StartChild("metadata_lookup");
-    ctx.annotations =
-        metadata_->GetRelevantViews(tags, &result.metadata_lookup_seconds);
+    Status lookup = fault::RetryWithBackoff(
+        retry_,
+        [&]() -> Status {
+          auto r = metadata_->TryGetRelevantViews(
+              tags, &result.metadata_lookup_seconds);
+          if (!r.ok()) return r.status();
+          ctx.annotations = std::move(r).ValueOrDie();
+          return Status::OK();
+        },
+        sleeper_);
+    if (!lookup.ok()) {
+      // The lookup failed persistently. Reuse is an optimization: degrade
+      // to a plain (no-reuse, no-materialize) job rather than failing it.
+      ctx.annotations.clear();
+      ctx.view_catalog = nullptr;
+      result.lookup_degraded = true;
+      if (obs_.lookup_degraded != nullptr) obs_.lookup_degraded->Increment();
+      span.SetAttribute("degraded", true);
+      span.SetAttribute("error", lookup.ToString());
+    }
     span.SetAttribute("annotations",
                       static_cast<uint64_t>(ctx.annotations.size()));
     span.SetAttribute("simulated_latency_seconds",
@@ -167,35 +243,61 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   exec_ctx.clock = wall;
   exec_ctx.options = options.exec.value_or(exec_options_);
   exec_ctx.pool = ExecutionPool(exec_ctx.options);
+  exec_ctx.fault = fault_;
+  exec_ctx.retry = retry_;
+  exec_ctx.sleeper = sleeper_;
   if (metadata_ != nullptr) {
     exec_ctx.on_view_materialized = [this, &result](const SpoolNode& spool,
                                                     const StreamData& view) {
-      MaterializedViewInfo info;
-      info.path = spool.view_path();
-      info.normalized_signature = spool.normalized_signature();
-      info.precise_signature = spool.precise_signature();
-      info.producer_job_id = result.job_id;
-      info.design = spool.design();
-      info.rows = static_cast<double>(view.total_rows);
-      info.bytes = static_cast<double>(view.total_bytes);
-      metadata_->ReportMaterialized(info, view.expires_at);
+      RegisterMaterializedView(spool, view, result.job_id);
+    };
+    exec_ctx.on_view_abandoned = [this, &result](const SpoolNode& spool,
+                                                 const Status&) {
+      // Do-no-harm path: the view write failed, the partial is gone, the
+      // job keeps running — hand the build lock back so another instance
+      // can retry the materialization.
+      metadata_->AbandonLock(spool.precise_signature(), result.job_id);
+      if (obs_.views_abandoned != nullptr) obs_.views_abandoned->Increment();
     };
   }
   Executor executor(exec_ctx);
   auto run = executor.Execute(optimized.root);
+  if (!run.ok() && run.status().IsViewUnavailable() && metadata_ != nullptr) {
+    // Fallback-to-original-plan (the ReStore principle): a view this plan
+    // was rewritten to read is unavailable, and stored results are an
+    // optimization — never a correctness dependency. Discard the rewritten
+    // plan (releasing the build locks it carried), re-optimize without the
+    // view catalog, and run the job's original shape.
+    AbandonSpoolLocks(optimized.root, result.job_id);
+    result.views_fallback = result.views_reused;
+    execute_span.SetAttribute("views_fallback",
+                              static_cast<int64_t>(result.views_fallback));
+    execute_span.SetAttribute("fallback_cause", run.status().ToString());
+    if (obs_.views_fallback != nullptr) {
+      obs_.views_fallback->Increment(
+          static_cast<uint64_t>(result.views_fallback));
+      obs_.fallback_jobs->Increment();
+    }
+    OptimizeContext plain_ctx = ctx;
+    plain_ctx.view_catalog = nullptr;
+    plain_ctx.annotations.clear();
+    plain_ctx.span = nullptr;
+    auto replanned = optimizer_.Optimize(def.logical_plan, plain_ctx);
+    if (!replanned.ok()) return fail(replanned.status());
+    optimized = std::move(replanned).ValueOrDie();
+    result.views_reused = 0;
+    result.views_materialized = 0;
+    result.estimated_cost = optimized.estimated_cost;
+    Executor fallback_executor(exec_ctx);
+    run = fallback_executor.Execute(optimized.root);
+  }
   if (!run.ok()) {
     // Release build locks this job won but can no longer honor; they would
-    // otherwise block others until lock expiry.
-    if (metadata_ != nullptr) {
-      std::vector<PlanNode*> nodes;
-      CollectNodes(optimized.root, &nodes);
-      for (PlanNode* n : nodes) {
-        if (n->kind() == OpKind::kSpool) {
-          metadata_->AbandonLock(
-              static_cast<SpoolNode*>(n)->precise_signature(),
-              result.job_id);
-        }
-      }
+    // otherwise block others until lock expiry. Exception: an injected
+    // crash models the whole job process dying — a dead process runs no
+    // cleanup, so the lock must be reclaimed by lease expiry instead.
+    if (!fault::IsInjectedCrash(run.status())) {
+      AbandonSpoolLocks(optimized.root, result.job_id);
     }
     return fail(run.status());
   }
@@ -270,15 +372,32 @@ Result<int> JobService::MaterializeOfflineViews(const JobDefinition& def) {
                       offline_optimizer.Optimize(def.logical_plan, ctx));
 
   // Extract each Spool subtree and run it standalone: the pre-job builds
-  // only the views, nothing else.
+  // only the views, nothing else. The single Optimize above took a build
+  // lock for EVERY spool, so any early exit must release the locks of the
+  // failing spool and of every spool that never got to run — not just the
+  // failing one (that was a lock-leak bug).
   std::vector<PlanNode*> nodes;
   CollectNodes(optimized.root, &nodes);
-  int built = 0;
+  std::vector<SpoolNode*> spools;
   for (PlanNode* n : nodes) {
-    if (n->kind() != OpKind::kSpool) continue;
-    auto* spool = static_cast<SpoolNode*>(n);
+    if (n->kind() == OpKind::kSpool) {
+      spools.push_back(static_cast<SpoolNode*>(n));
+    }
+  }
+  auto abandon_from = [this, &spools, job_id](size_t first) {
+    for (size_t j = first; j < spools.size(); ++j) {
+      metadata_->AbandonLock(spools[j]->precise_signature(), job_id);
+    }
+  };
+  int built = 0;
+  for (size_t i = 0; i < spools.size(); ++i) {
+    SpoolNode* spool = spools[i];
     PlanNodePtr standalone = spool->Clone();
-    CV_RETURN_NOT_OK(standalone->Bind());
+    Status bound = standalone->Bind();
+    if (!bound.ok()) {
+      abandon_from(i);
+      return bound;
+    }
     AssignNodeIds(standalone.get());
     ExecContext exec_ctx;
     exec_ctx.storage = storage_;
@@ -287,25 +406,32 @@ Result<int> JobService::MaterializeOfflineViews(const JobDefinition& def) {
     exec_ctx.clock = wall_clock_;
     exec_ctx.options = exec_options_;
     exec_ctx.pool = ExecutionPool(exec_ctx.options);
-    exec_ctx.on_view_materialized = [this, job_id](const SpoolNode& node,
-                                                   const StreamData& view) {
-      MaterializedViewInfo info;
-      info.path = node.view_path();
-      info.normalized_signature = node.normalized_signature();
-      info.precise_signature = node.precise_signature();
-      info.producer_job_id = job_id;
-      info.design = node.design();
-      info.rows = static_cast<double>(view.total_rows);
-      info.bytes = static_cast<double>(view.total_bytes);
-      metadata_->ReportMaterialized(info, view.expires_at);
+    exec_ctx.fault = fault_;
+    exec_ctx.retry = retry_;
+    exec_ctx.sleeper = sleeper_;
+    bool materialized = false;
+    exec_ctx.on_view_materialized = [this, job_id, &materialized](
+                                        const SpoolNode& node,
+                                        const StreamData& view) {
+      materialized = true;
+      RegisterMaterializedView(node, view, job_id);
+    };
+    exec_ctx.on_view_abandoned = [this, job_id](const SpoolNode& node,
+                                                const Status&) {
+      metadata_->AbandonLock(node.precise_signature(), job_id);
+      if (obs_.views_abandoned != nullptr) obs_.views_abandoned->Increment();
     };
     Executor executor(exec_ctx);
     auto run = executor.Execute(standalone);
     if (!run.ok()) {
-      metadata_->AbandonLock(spool->precise_signature(), job_id);
+      if (!fault::IsInjectedCrash(run.status())) {
+        abandon_from(i);
+      }
       return run.status();
     }
-    ++built;
+    // A do-no-harm write failure leaves run OK but builds nothing (the
+    // spool's lock was already released through on_view_abandoned).
+    if (materialized) ++built;
   }
   return built;
 }

@@ -47,6 +47,14 @@ struct JobResult {
   int views_materialized = 0;
   int reuse_rejected_by_cost = 0;
   int materialize_lock_denied = 0;
+  /// View reads abandoned mid-run: the rewritten plan's views were
+  /// unavailable, so the job transparently re-ran its original plan
+  /// (ReStore-style fallback). The job still succeeded; views_reused is
+  /// reset to 0 for the plan that actually executed.
+  int views_fallback = 0;
+  /// The metadata lookup failed persistently and the job ran without any
+  /// reuse information instead of failing.
+  bool lookup_degraded = false;
   double estimated_cost = 0;
   /// The job's finished lifecycle trace (root span "job" with
   /// metadata_lookup / optimize / execute / record children); null when
@@ -78,16 +86,25 @@ struct JobServiceOptions {
 /// exercised.
 class JobService {
  public:
+  /// `fault` / `retry` / `sleeper` wire the fault-tolerance machinery:
+  /// injection points, the transient-retry backoff schedule, and the sleep
+  /// seam between attempts (null sleeper = real sleeps). All optional.
   JobService(SimulatedClock* clock, StorageManager* storage,
              MetadataService* metadata, WorkloadRepository* repository,
              OptimizerConfig optimizer_config = {},
-             ExecOptions exec_options = {})
+             ExecOptions exec_options = {},
+             fault::FaultInjector* fault = nullptr,
+             fault::RetryPolicy retry = {},
+             fault::Sleeper* sleeper = nullptr)
       : clock_(clock),
         storage_(storage),
         metadata_(metadata),
         repository_(repository),
         optimizer_(optimizer_config),
-        exec_options_(exec_options) {}
+        exec_options_(exec_options),
+        fault_(fault),
+        retry_(retry),
+        sleeper_(sleeper) {}
 
   /// Publishes job/stage metrics into `metrics` and emits one lifecycle
   /// trace per submission into `tracer` (either may be null to disable).
@@ -140,7 +157,23 @@ class JobService {
     obs::Counter* reuse_rejected = nullptr;
     obs::Counter* lock_denied = nullptr;
     obs::Counter* mat_skipped = nullptr;
+    obs::Counter* views_fallback = nullptr;
+    obs::Counter* fallback_jobs = nullptr;
+    obs::Counter* lookup_degraded = nullptr;
+    obs::Counter* views_abandoned = nullptr;
+    obs::Counter* stale_registrations = nullptr;
   };
+
+  /// Releases the build locks held by every Spool node under `root` that
+  /// `job_id` still owns (idempotent per lock). Called whenever a plan
+  /// carrying locks is discarded: execution failure, view-read fallback.
+  void AbandonSpoolLocks(const PlanNodePtr& root, uint64_t job_id);
+
+  /// Registers a finished view with the metadata service; on rejection
+  /// (stale lease, lost registration race) deletes the written file — the
+  /// metadata decision is authoritative.
+  void RegisterMaterializedView(const SpoolNode& spool,
+                                const StreamData& view, uint64_t job_id);
 
   SimulatedClock* clock_;
   StorageManager* storage_;
@@ -148,6 +181,9 @@ class JobService {
   WorkloadRepository* repository_;
   Optimizer optimizer_;
   ExecOptions exec_options_;
+  fault::FaultInjector* fault_ = nullptr;
+  fault::RetryPolicy retry_;
+  fault::Sleeper* sleeper_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   MonotonicClock* wall_clock_ = nullptr;

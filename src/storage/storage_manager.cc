@@ -76,6 +76,34 @@ Status StorageManager::WriteStream(StreamData data) {
   if (data.name.empty()) {
     return Status::InvalidArgument("stream name must not be empty");
   }
+  if (fault_ != nullptr) {
+    const bool is_view = StartsWith(data.name, "/views/");
+    CV_RETURN_NOT_OK(fault_->MaybeInject(
+        is_view ? fault::points::kStorageViewWrite
+                : fault::points::kStorageWrite,
+        data.name));
+    if (is_view) {
+      Status torn =
+          fault_->MaybeInject(fault::points::kStorageViewWriteTorn, data.name);
+      if (!torn.ok()) {
+        // Model a writer dying mid-write: a truncated, incomplete-flagged
+        // partial is left in the store and the write still reports failure.
+        data.batches.resize(data.batches.size() / 2);
+        data.total_rows = 0;
+        data.total_bytes = 0;
+        for (const auto& b : data.batches) {
+          data.total_rows += static_cast<int64_t>(b.num_rows());
+          data.total_bytes += b.ByteSize();
+        }
+        data.complete = false;
+        auto partial = std::make_shared<StreamData>(std::move(data));
+        MutexLock lock(mu_);
+        streams_[partial->name] = std::move(partial);
+        UpdateGauges();
+        return torn;
+      }
+    }
+  }
   auto handle = std::make_shared<StreamData>(std::move(data));
   MutexLock lock(mu_);
   if (obs_.bytes_written != nullptr) {
@@ -89,10 +117,20 @@ Status StorageManager::WriteStream(StreamData data) {
 
 Result<StreamHandle> StorageManager::OpenStream(
     const std::string& name) const {
+  if (fault_ != nullptr) {
+    CV_RETURN_NOT_OK(fault_->MaybeInject(
+        StartsWith(name, "/views/") ? fault::points::kStorageViewRead
+                                    : fault::points::kStorageRead,
+        name));
+  }
   MutexLock lock(mu_);
   auto it = streams_.find(name);
   if (it == streams_.end()) {
     return Status::NotFound("stream '" + name + "' does not exist");
+  }
+  if (!it->second->complete) {
+    return Status::IOError("stream '" + name +
+                           "' is incomplete (torn write); refusing to read");
   }
   return it->second;
 }

@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/mutex.h"
 #include "common/result.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "plan/physical_properties.h"
 #include "types/batch.h"
@@ -35,6 +36,10 @@ struct StreamData {
   LogicalTime expires_at = 0;
   int64_t total_rows = 0;
   int64_t total_bytes = 0;
+  /// False for a torn write: the writer failed partway, so some batches
+  /// are missing. OpenStream refuses incomplete streams — a torn partial
+  /// must never be read (or registered) as if it were the full view.
+  bool complete = true;
 };
 
 using StreamHandle = std::shared_ptr<const StreamData>;
@@ -59,6 +64,11 @@ class StorageManager {
   /// Publishes stream/byte gauges (total and materialized-view slices) and
   /// a written-bytes counter into `metrics`. Call before concurrent use.
   void SetMetrics(obs::MetricsRegistry* metrics) EXCLUDES(mu_);
+
+  /// Routes reads/writes through `fault` (storage.read / storage.write /
+  /// storage.view_* points, keyed by stream name). Call before concurrent
+  /// use; null disables injection.
+  void SetFaultInjector(fault::FaultInjector* fault) { fault_ = fault; }
 
   /// Writes (or replaces) a stream. Expiry of 0 = never.
   Status WriteStream(StreamData data) EXCLUDES(mu_);
@@ -97,6 +107,8 @@ class StorageManager {
   };
 
   SimulatedClock* clock_;
+  /// Set once before concurrent use (test/CI wiring), read-only afterwards.
+  fault::FaultInjector* fault_ = nullptr;
   Instruments obs_;
   mutable Mutex mu_;
   std::map<std::string, StreamHandle> streams_ GUARDED_BY(mu_);

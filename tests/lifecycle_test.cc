@@ -227,5 +227,75 @@ TEST_F(LifecycleTest, LockExpiryUnblocksAfterCrashWithoutAbandon) {
   EXPECT_EQ(retry->views_materialized, 1);
 }
 
+TEST_F(LifecycleTest, BuilderCrashLeaseExpiryAndStaleRegistrationRejected) {
+  // The full crashed-builder story: a builder dies between writing the view
+  // file and registering it. Its build lock is fenced by the wall-clock
+  // lease, the takeover job cleans the orphaned file and builds its own
+  // copy, and the dead builder's late registration attempt is rejected.
+  fault::FaultInjector injector(42);
+  FakeMonotonicClock wall;
+  CloudViewsConfig config = Config(/*offline=*/false);
+  config.fault = &injector;
+  config.wall_clock = &wall;
+  CloudViews cv(config);
+  SeedHistory(&cv);
+  WriteClickStream(cv.storage(), "clicks_2018-01-02", 1500, 2, "2018-01-02");
+
+  fault::FaultSpec crash;
+  crash.trigger_every = 1;
+  crash.max_fires = 1;
+  crash.crash = true;
+  crash.code = StatusCode::kInternal;
+  injector.Arm(fault::points::kBuilderCrash, crash);
+
+  auto dead = cv.Submit(JobA("2018-01-02"));
+  ASSERT_FALSE(dead.ok());
+  EXPECT_TRUE(fault::IsInjectedCrash(dead.status()));
+  // The "process" died holding the build lock, with a complete but
+  // unregistered view file orphaned in the store.
+  ASSERT_EQ(cv.metadata()->NumActiveLocks(), 1u);
+  ASSERT_EQ(cv.storage()->ListStreams("/views/").size(), 1u);
+  EXPECT_EQ(cv.metadata()->NumRegisteredViews(), 0u);
+  std::string orphan_path = cv.storage()->ListStreams("/views/")[0];
+  auto held = cv.metadata()->HeldLocks();
+  ASSERT_EQ(held.size(), 1u);
+  uint64_t dead_job = held[0].second;
+
+  // Until the lease expires the crashed builder blocks other builders
+  // (build-build synchronization still holds).
+  auto blocked = cv.Submit(JobA("2018-01-02"));
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked->views_materialized, 0);
+  EXPECT_EQ(blocked->materialize_lock_denied, 1);
+
+  // Nobody advances the simulated clock — the wall lease alone fences the
+  // dead builder out (lifecycle_test's other expiry test uses the logical
+  // timeline; this is the crashed-process variant).
+  wall.AdvanceSeconds(1e9);
+  auto takeover = cv.Submit(JobA("2018-01-02"));
+  ASSERT_TRUE(takeover.ok());
+  EXPECT_EQ(takeover->views_materialized, 1);
+  EXPECT_EQ(cv.metadata()->counters().leases_reclaimed, 1u);
+  EXPECT_GE(cv.metadata()->counters().orphans_cleaned, 1u);
+  EXPECT_FALSE(cv.storage()->StreamExists(orphan_path));  // orphan swept
+  EXPECT_EQ(cv.metadata()->NumRegisteredViews(), 1u);
+  EXPECT_EQ(cv.metadata()->NumActiveLocks(), 0u);
+
+  // The dead builder's late registration is fenced: the takeover's copy
+  // stays authoritative.
+  auto views = cv.metadata()->ListViews();
+  ASSERT_EQ(views.size(), 1u);
+  MaterializedViewInfo stale = views[0];
+  stale.producer_job_id = dead_job;
+  stale.path = orphan_path;
+  Status rejected = cv.metadata()->ReportMaterialized(stale, 0);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_GE(cv.metadata()->counters().stale_registrations_rejected, 1u);
+  auto after = cv.metadata()->ListViews();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(after[0].producer_job_id, dead_job);
+  EXPECT_EQ(after[0].path, views[0].path);
+}
+
 }  // namespace
 }  // namespace cloudviews

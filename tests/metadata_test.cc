@@ -63,7 +63,7 @@ TEST_F(MetadataTest, LockLifecycle) {
   info.normalized_signature = H(1);
   info.precise_signature = H(10);
   info.producer_job_id = 100;
-  service_.ReportMaterialized(info, 0);
+  ASSERT_TRUE(service_.ReportMaterialized(info, 0).ok());
 
   // Now the view exists: propose fails, find succeeds.
   EXPECT_FALSE(service_.ProposeMaterialize(H(1), H(10), 102, 10));
@@ -106,7 +106,7 @@ TEST_F(MetadataTest, FindHonorsExpiry) {
   info.path = "/views/a/b_1.ss";
   info.normalized_signature = H(1);
   info.precise_signature = H(10);
-  service_.ReportMaterialized(info, clock_.Now() + 100);
+  ASSERT_TRUE(service_.ReportMaterialized(info, clock_.Now() + 100).ok());
   EXPECT_TRUE(service_.FindMaterialized(H(1), H(10)).has_value());
   clock_.AdvanceSeconds(101);
   EXPECT_FALSE(service_.FindMaterialized(H(1), H(10)).has_value());
@@ -122,7 +122,7 @@ TEST_F(MetadataTest, PurgeRemovesMetadataThenFiles) {
   info.path = "/views/a/b_1.ss";
   info.normalized_signature = H(1);
   info.precise_signature = H(10);
-  service_.ReportMaterialized(info, clock_.Now() + 50);
+  ASSERT_TRUE(service_.ReportMaterialized(info, clock_.Now() + 50).ok());
   EXPECT_EQ(service_.PurgeExpired(), 0u);
   clock_.AdvanceSeconds(51);
   EXPECT_EQ(service_.PurgeExpired(), 1u);
@@ -141,7 +141,7 @@ TEST_F(MetadataTest, DropViewDeletesFile) {
   info.path = "/views/a/b_1.ss";
   info.normalized_signature = H(1);
   info.precise_signature = H(10);
-  service_.ReportMaterialized(info, 0);
+  ASSERT_TRUE(service_.ReportMaterialized(info, 0).ok());
   ASSERT_TRUE(service_.DropView(H(10)).ok());
   EXPECT_FALSE(storage_.StreamExists("/views/a/b_1.ss"));
   EXPECT_TRUE(service_.DropView(H(10)).IsNotFound());

@@ -1,0 +1,26 @@
+// Fixture: seeded banned-sleep violations (hand-rolled sleeps in retry
+// loops are untestable and undeterministic; route every backoff through
+// fault::RetryWithBackoff and its injectable Sleeper).
+#include <chrono>
+#include <thread>
+
+#include <unistd.h>
+
+bool FlakyOp();
+
+void NaiveRetry() {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (FlakyOp()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void NaiveDeadline(std::chrono::time_point<std::chrono::file_clock> t) {
+  std::this_thread::sleep_until(t + std::chrono::seconds(1));
+}
+
+void LegacySleeps() {
+  usleep(1000);
+  timespec ts{0, 1000000};
+  nanosleep(&ts, nullptr);
+}

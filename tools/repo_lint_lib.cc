@@ -184,11 +184,14 @@ std::vector<Violation> LintFile(const std::string& display_path,
   const bool in_clock =
       PathContains(rel_path, "common/clock") ||
       PathContains(rel_path, "src/obs/");
+  const bool in_backoff = PathContains(rel_path, "fault/backoff");
 
   static const std::vector<std::string> kRandomTokens = {
       "std::rand", "srand", "random_device", "time(nullptr)", "time(NULL)"};
   static const std::vector<std::string> kClockTokens = {
       "steady_clock", "system_clock", "high_resolution_clock"};
+  static const std::vector<std::string> kSleepTokens = {
+      "sleep_for", "sleep_until", "usleep", "nanosleep"};
   static const std::vector<std::string> kSyncTokens = {
       "std::mutex",       "std::condition_variable", "std::lock_guard",
       "std::unique_lock", "std::scoped_lock",        "std::shared_mutex",
@@ -269,6 +272,14 @@ std::vector<Violation> LintFile(const std::string& display_path,
                          "' outside common/clock.h and src/obs; use "
                          "MonotonicClock / MonotonicNowSeconds so time is "
                          "injectable in tests"});
+    }
+    if (!in_backoff && ContainsAnyToken(text, kSleepTokens, &which)) {
+      out.push_back({display_path, line_no, "banned-sleep",
+                     "'" + which +
+                         "' outside fault/backoff; hand-rolled sleeps in "
+                         "retry loops are untestable — use "
+                         "fault::RetryWithBackoff (with an injectable "
+                         "Sleeper)"});
     }
     if (!is_mutex_header && ContainsAnyToken(text, kSyncTokens, &which)) {
       out.push_back({display_path, line_no, "banned-sync",

@@ -22,6 +22,10 @@ struct Violation {
 ///  banned-sync        std::mutex / condition_variable / lock_guard /
 ///                     unique_lock / scoped_lock outside common/mutex.h
 ///                     (use the annotated Mutex / MutexLock / CondVar)
+///  banned-sleep       sleep_for / sleep_until / usleep / nanosleep
+///                     outside fault/backoff (retry loops must go through
+///                     fault::RetryWithBackoff and its injectable Sleeper,
+///                     never sleep directly)
 ///  naked-new          `new` outside a smart-pointer factory
 ///                     (use std::make_unique / std::make_shared)
 ///  mutex-guarded      a header declaring a Mutex member must annotate the

@@ -74,6 +74,24 @@ TEST(RepoLintTest, BannedSyncFires) {
   EXPECT_GE(violations.size(), 2u);  // std::mutex and std::lock_guard
 }
 
+TEST(RepoLintTest, BannedSleepFires) {
+  auto violations = LintFixture("bad_sleep.cc");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"banned-sleep"});
+  // sleep_for, sleep_until, usleep, nanosleep.
+  EXPECT_GE(violations.size(), 4u);
+}
+
+TEST(RepoLintTest, BannedSleepAllowedInBackoffHelper) {
+  // The backoff helper's real Sleeper is the one sanctioned sleep site.
+  EXPECT_TRUE(LintFile("backoff.cc", "src/fault/backoff.cc",
+                       "std::this_thread::sleep_for(d);\n")
+                  .empty());
+  // Prose mentioning sleep_for does not fire (comments are stripped).
+  EXPECT_TRUE(LintFile("doc.cc", "src/exec/doc.cc",
+                       "// never call sleep_for in a retry loop\n")
+                  .empty());
+}
+
 TEST(RepoLintTest, NakedNewFires) {
   auto violations = LintFixture("bad_new.cc");
   EXPECT_EQ(Rules(violations), std::set<std::string>{"naked-new"});
