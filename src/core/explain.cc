@@ -110,6 +110,11 @@ std::string ExplainJob(const JobResult& result) {
         result.views_fallback,
         result.lookup_degraded ? ", metadata lookup unavailable" : "");
   }
+  if (result.plan_cache_hit) {
+    out += StrFormat(
+        "  plan cache: hit (recurring-job fast path, catalog epoch %llu)\n",
+        static_cast<unsigned long long>(result.catalog_epoch));
+  }
 
   if (result.executed_plan == nullptr) return out;
   std::vector<PlanNode*> nodes;
@@ -184,6 +189,8 @@ std::string JobProfileJson(const JobResult& result) {
   w.Key("materialize_lock_denied").Int(result.materialize_lock_denied);
   w.Key("views_fallback").Int(result.views_fallback);
   w.Key("lookup_degraded").Bool(result.lookup_degraded);
+  w.Key("plan_cache_hit").Bool(result.plan_cache_hit);
+  w.Key("catalog_epoch").Uint(result.catalog_epoch);
   w.Key("run").BeginObject();
   w.Key("latency_seconds").Double(result.run_stats.latency_seconds);
   w.Key("cpu_seconds").Double(result.run_stats.cpu_seconds);

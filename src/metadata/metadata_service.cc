@@ -47,19 +47,44 @@ void MetadataService::SetMetrics(obs::MetricsRegistry* metrics,
                         "Currently registered materialized views");
   obs_.lock_wait = metrics->GetHistogram(
       "cv_metadata_lock_wait_seconds", {}, {},
-      "Wall time waiting for the service-wide mutex that guards the "
-      "exclusive build locks");
+      "Wall time waiting for any metadata-service mutex (aggregate over "
+      "the shard stripes and the analysis-snapshot lock)");
+  for (size_t i = 0; i < kNumShards; ++i) {
+    shards_[i].lock_wait = metrics->GetHistogram(
+        "cv_metadata_shard_lock_wait_seconds",
+        {{"shard", std::to_string(i)}}, {},
+        "Wall time waiting for one signature-keyed metadata shard stripe "
+        "(the per-shard contention signal)");
+  }
 }
 
 void MetadataService::LoadAnalysis(
     const std::vector<AnnotatedComputation>& computations) {
-  MutexLock lock(mu_);
-  computations_ = computations;
-  tag_index_.clear();
-  for (size_t i = 0; i < computations_.size(); ++i) {
-    for (const auto& tag : computations_[i].tags) {
-      tag_index_[tag].insert(i);
+  auto snapshot = std::make_shared<AnalysisSnapshot>();
+  snapshot->computations = computations;
+  for (size_t i = 0; i < snapshot->computations.size(); ++i) {
+    for (const auto& tag : snapshot->computations[i].tags) {
+      snapshot->tag_index[tag].insert(i);
     }
+  }
+  {
+    MutexLock lock(analysis_mu_);
+    analysis_ = std::move(snapshot);
+  }
+  // New annotations change which rewrites the optimizer would pick.
+  BumpEpoch();
+}
+
+std::shared_ptr<const MetadataService::AnalysisSnapshot>
+MetadataService::AnalysisView() const {
+  obs::TimedMutexLock lock(analysis_mu_, obs_.lock_wait, wall_clock_);
+  return analysis_;
+}
+
+void MetadataService::UpdateViewsGauge() {
+  if (obs_.registered_views != nullptr) {
+    obs_.registered_views->Set(
+        static_cast<double>(total_views_.load(std::memory_order_relaxed)));
   }
 }
 
@@ -75,21 +100,24 @@ double MetadataService::SimulatedLookupLatency() const {
 
 std::vector<ViewAnnotation> MetadataService::GetRelevantViews(
     const std::vector<std::string>& tags, double* latency_seconds) const {
-  obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
-  ++counters_.lookups;
+  counters_.lookups.fetch_add(1, std::memory_order_relaxed);
   if (obs_.lookups != nullptr) obs_.lookups->Increment();
   if (latency_seconds != nullptr) {
     *latency_seconds = SimulatedLookupLatency();
   }
+  // Read-mostly path: one pointer copy under analysis_mu_, then the
+  // immutable snapshot is scanned without any lock held.
+  std::shared_ptr<const AnalysisSnapshot> snapshot = AnalysisView();
+  std::vector<ViewAnnotation> out;
+  if (snapshot == nullptr) return out;
   std::set<size_t> hits;
   for (const auto& tag : tags) {
-    auto it = tag_index_.find(tag);
-    if (it == tag_index_.end()) continue;
+    auto it = snapshot->tag_index.find(tag);
+    if (it == snapshot->tag_index.end()) continue;
     hits.insert(it->second.begin(), it->second.end());
   }
-  std::vector<ViewAnnotation> out;
   out.reserve(hits.size());
-  for (size_t i : hits) out.push_back(computations_[i].annotation);
+  for (size_t i : hits) out.push_back(snapshot->computations[i].annotation);
   return out;
 }
 
@@ -108,8 +136,9 @@ Result<std::vector<ViewAnnotation>> MetadataService::TryGetRelevantViews(
 
 std::optional<ViewAnnotation> MetadataService::FindAnnotation(
     const Hash128& normalized) const {
-  MutexLock lock(mu_);
-  for (const auto& comp : computations_) {
+  std::shared_ptr<const AnalysisSnapshot> snapshot = AnalysisView();
+  if (snapshot == nullptr) return std::nullopt;
+  for (const auto& comp : snapshot->computations) {
     if (comp.annotation.normalized_signature == normalized) {
       return comp.annotation;
     }
@@ -119,14 +148,16 @@ std::optional<ViewAnnotation> MetadataService::FindAnnotation(
 
 std::optional<MaterializedViewInfo> MetadataService::FindMaterialized(
     const Hash128& normalized, const Hash128& precise) {
-  obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
+  Shard& shard = ShardFor(precise);
+  obs::TimedMutexLock lock(shard.mu, shard.lock_wait, obs_.lock_wait,
+                           wall_clock_);
   // Instrument pointers are set once before concurrent use, so the lambda
-  // touches no mu_-guarded state.
+  // touches no shard-guarded state.
   auto record_miss = [this] {
     if (obs_.misses != nullptr) obs_.misses->Increment();
   };
-  auto it = views_.find(precise);
-  if (it == views_.end()) {
+  auto it = shard.views.find(precise);
+  if (it == shard.views.end()) {
     record_miss();
     return std::nullopt;
   }
@@ -152,30 +183,31 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
     if (!injected.ok()) {
       // A proposal the service never answered is indistinguishable from a
       // denial to the job: it simply runs without materializing this view.
-      MutexLock lock(mu_);
-      ++counters_.proposals;
-      ++counters_.locks_denied;
+      counters_.proposals.fetch_add(1, std::memory_order_relaxed);
+      counters_.locks_denied.fetch_add(1, std::memory_order_relaxed);
       if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
       return false;
     }
   }
-  // Orphaned files of a reclaimed lease are deleted after mu_ is released
-  // (same metadata-first ordering as PurgeExpired, Sec 5.4).
+  counters_.proposals.fetch_add(1, std::memory_order_relaxed);
+  // Orphaned files of a reclaimed lease are deleted after the shard mutex
+  // is released (same metadata-first ordering as PurgeExpired, Sec 5.4).
   std::string orphan_prefix;
   {
-    obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
-    ++counters_.proposals;
-    if (views_.count(precise) > 0) {
-      ++counters_.locks_denied;
+    Shard& shard = ShardFor(precise);
+    obs::TimedMutexLock lock(shard.mu, shard.lock_wait, obs_.lock_wait,
+                             wall_clock_);
+    if (shard.views.count(precise) > 0) {
+      counters_.locks_denied.fetch_add(1, std::memory_order_relaxed);
       if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
       return false;  // already materialized
     }
     LogicalTime now = clock_->Now();
     double wall_now = wall_clock_->NowSeconds();
-    auto it = locks_.find(precise);
-    if (it != locks_.end()) {
+    auto it = shard.locks.find(precise);
+    if (it != shard.locks.end()) {
       if (!LockExpired(it->second, now, wall_now)) {
-        ++counters_.locks_denied;
+        counters_.locks_denied.fetch_add(1, std::memory_order_relaxed);
         if (obs_.locks_denied != nullptr) obs_.locks_denied->Increment();
         return false;  // a concurrent job is building this view
       }
@@ -183,7 +215,7 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
         // Lease takeover: the previous builder is presumed dead. Whatever
         // it wrote under this signature was never registered — collect it
         // for deletion so the new build starts clean.
-        ++counters_.leases_reclaimed;
+        counters_.leases_reclaimed.fetch_add(1, std::memory_order_relaxed);
         if (obs_.leases_reclaimed != nullptr) {
           obs_.leases_reclaimed->Increment();
         }
@@ -194,12 +226,15 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
     double expiry_seconds =
         std::max(config_.min_lock_seconds,
                  config_.lock_expiry_multiplier * expected_build_seconds);
-    locks_[precise] =
+    shard.locks[precise] =
         BuildLock{job_id, now + static_cast<LogicalTime>(expiry_seconds),
                   wall_now + expiry_seconds};
-    ++counters_.locks_granted;
+    counters_.locks_granted.fetch_add(1, std::memory_order_relaxed);
     if (obs_.locks_granted != nullptr) obs_.locks_granted->Increment();
   }
+  // A granted lock is catalog state a cached plan depends on (a cached
+  // plan holding a Spool for this signature would double-build).
+  BumpEpoch();
   if (!orphan_prefix.empty()) {
     size_t cleaned = 0;
     for (const auto& name : storage_->ListStreams(orphan_prefix)) {
@@ -208,85 +243,100 @@ bool MetadataService::ProposeMaterialize(const Hash128& normalized,
       (void)storage_->DeleteStream(name);
       ++cleaned;
     }
-    if (cleaned > 0) {
-      MutexLock lock(mu_);
-      counters_.orphans_cleaned += cleaned;
-    }
+    counters_.orphans_cleaned.fetch_add(cleaned, std::memory_order_relaxed);
   }
   return true;
 }
 
 Status MetadataService::ReportMaterialized(const MaterializedViewInfo& info,
                                           LogicalTime expires_at) {
-  obs::TimedMutexLock lock(mu_, obs_.lock_wait, wall_clock_);
   auto reject = [this](Status status) {
-    ++counters_.stale_registrations_rejected;
+    counters_.stale_registrations_rejected.fetch_add(
+        1, std::memory_order_relaxed);
     if (obs_.stale_registrations != nullptr) {
       obs_.stale_registrations->Increment();
     }
     return status;
   };
-  auto vit = views_.find(info.precise_signature);
-  if (vit != views_.end()) {
-    if (vit->second.info.producer_job_id == info.producer_job_id) {
-      return Status::OK();  // idempotent re-report by the same producer
+  {
+    Shard& shard = ShardFor(info.precise_signature);
+    obs::TimedMutexLock lock(shard.mu, shard.lock_wait, obs_.lock_wait,
+                             wall_clock_);
+    auto vit = shard.views.find(info.precise_signature);
+    if (vit != shard.views.end()) {
+      if (vit->second.info.producer_job_id == info.producer_job_id) {
+        return Status::OK();  // idempotent re-report by the same producer
+      }
+      return reject(Status::AlreadyExists(
+          "view " + info.precise_signature.ToHex() +
+          " already registered by job " +
+          std::to_string(vit->second.info.producer_job_id)));
     }
-    return reject(Status::AlreadyExists(
-        "view " + info.precise_signature.ToHex() +
-        " already registered by job " +
-        std::to_string(vit->second.info.producer_job_id)));
+    auto lit = shard.locks.find(info.precise_signature);
+    if (lit != shard.locks.end() &&
+        lit->second.job_id != info.producer_job_id) {
+      // Lease fencing: this builder's lock expired and another job took the
+      // lease. Its registration is stale — the new builder owns the view.
+      return reject(Status::Expired(
+          "build lock for view " + info.precise_signature.ToHex() +
+          " is now held by job " + std::to_string(lit->second.job_id) +
+          "; stale registration by job " +
+          std::to_string(info.producer_job_id) + " rejected"));
+    }
+    if (lit != shard.locks.end()) shard.locks.erase(lit);
+    shard.views[info.precise_signature] = RegisteredView{info, expires_at};
+    total_views_.fetch_add(1, std::memory_order_relaxed);
+    counters_.views_registered.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.views_registered != nullptr) obs_.views_registered->Increment();
+    UpdateViewsGauge();
   }
-  auto lit = locks_.find(info.precise_signature);
-  if (lit != locks_.end() && lit->second.job_id != info.producer_job_id) {
-    // Lease fencing: this builder's lock expired and another job took the
-    // lease. Its registration is stale — the new builder owns the view.
-    return reject(Status::Expired(
-        "build lock for view " + info.precise_signature.ToHex() +
-        " is now held by job " + std::to_string(lit->second.job_id) +
-        "; stale registration by job " +
-        std::to_string(info.producer_job_id) + " rejected"));
-  }
-  if (lit != locks_.end()) locks_.erase(lit);
-  views_[info.precise_signature] = RegisteredView{info, expires_at};
-  ++counters_.views_registered;
-  if (obs_.views_registered != nullptr) {
-    obs_.views_registered->Increment();
-    obs_.registered_views->Set(static_cast<double>(views_.size()));
-  }
+  // A newly registered view invalidates cached plans that could have
+  // reused it — never serve a stale rewrite.
+  BumpEpoch();
   return Status::OK();
 }
 
 void MetadataService::AbandonLock(const Hash128& precise, uint64_t job_id) {
-  MutexLock lock(mu_);
-  auto it = locks_.find(precise);
-  if (it != locks_.end() && it->second.job_id == job_id) {
-    locks_.erase(it);
-    ++counters_.locks_abandoned;
-    if (obs_.locks_abandoned != nullptr) obs_.locks_abandoned->Increment();
+  bool erased = false;
+  {
+    Shard& shard = ShardFor(precise);
+    obs::TimedMutexLock lock(shard.mu, shard.lock_wait, obs_.lock_wait,
+                             wall_clock_);
+    auto it = shard.locks.find(precise);
+    if (it != shard.locks.end() && it->second.job_id == job_id) {
+      shard.locks.erase(it);
+      erased = true;
+      counters_.locks_abandoned.fetch_add(1, std::memory_order_relaxed);
+      if (obs_.locks_abandoned != nullptr) obs_.locks_abandoned->Increment();
+    }
   }
+  // The freed lock re-opens the materialization opportunity; cached plans
+  // compiled while it was held would silently skip the build.
+  if (erased) BumpEpoch();
 }
 
 size_t MetadataService::PurgeExpired() {
   LogicalTime now = clock_->Now();
   std::vector<std::string> paths_to_delete;
-  {
+  for (Shard& shard : shards_) {
     // Clean the metadata first so no job can be handed an expired view,
     // then delete the physical files (Sec 5.4).
-    MutexLock lock(mu_);
-    for (auto it = views_.begin(); it != views_.end();) {
+    obs::TimedMutexLock lock(shard.mu, shard.lock_wait, obs_.lock_wait,
+                             wall_clock_);
+    for (auto it = shard.views.begin(); it != shard.views.end();) {
       if (it->second.expires_at != 0 && it->second.expires_at <= now) {
         paths_to_delete.push_back(it->second.info.path);
-        it = views_.erase(it);
-        ++counters_.views_purged;
+        it = shard.views.erase(it);
+        total_views_.fetch_sub(1, std::memory_order_relaxed);
+        counters_.views_purged.fetch_add(1, std::memory_order_relaxed);
+        if (obs_.views_purged != nullptr) obs_.views_purged->Increment();
       } else {
         ++it;
       }
     }
-    if (obs_.views_purged != nullptr) {
-      obs_.views_purged->Increment(paths_to_delete.size());
-      obs_.registered_views->Set(static_cast<double>(views_.size()));
-    }
   }
+  UpdateViewsGauge();
+  if (!paths_to_delete.empty()) BumpEpoch();
   for (const auto& path : paths_to_delete) {
     // Intentional drop: the file may already be gone (purged by the
     // storage manager's own expiry sweep), and the metadata entry is
@@ -299,52 +349,81 @@ size_t MetadataService::PurgeExpired() {
 Status MetadataService::DropView(const Hash128& precise) {
   std::string path;
   {
-    MutexLock lock(mu_);
-    auto it = views_.find(precise);
-    if (it == views_.end()) {
+    Shard& shard = ShardFor(precise);
+    obs::TimedMutexLock lock(shard.mu, shard.lock_wait, obs_.lock_wait,
+                             wall_clock_);
+    auto it = shard.views.find(precise);
+    if (it == shard.views.end()) {
       return Status::NotFound("view not registered");
     }
     path = it->second.info.path;
-    views_.erase(it);
+    shard.views.erase(it);
+    total_views_.fetch_sub(1, std::memory_order_relaxed);
   }
+  UpdateViewsGauge();
+  BumpEpoch();
   return storage_->DeleteStream(path);
 }
 
 MetadataService::Counters MetadataService::counters() const {
-  MutexLock lock(mu_);
-  return counters_;
+  Counters out;
+  out.lookups = counters_.lookups.load(std::memory_order_relaxed);
+  out.proposals = counters_.proposals.load(std::memory_order_relaxed);
+  out.locks_granted = counters_.locks_granted.load(std::memory_order_relaxed);
+  out.locks_denied = counters_.locks_denied.load(std::memory_order_relaxed);
+  out.locks_abandoned =
+      counters_.locks_abandoned.load(std::memory_order_relaxed);
+  out.leases_reclaimed =
+      counters_.leases_reclaimed.load(std::memory_order_relaxed);
+  out.stale_registrations_rejected =
+      counters_.stale_registrations_rejected.load(std::memory_order_relaxed);
+  out.orphans_cleaned = counters_.orphans_cleaned.load(std::memory_order_relaxed);
+  out.views_registered =
+      counters_.views_registered.load(std::memory_order_relaxed);
+  out.views_purged = counters_.views_purged.load(std::memory_order_relaxed);
+  return out;
 }
 
 size_t MetadataService::NumRegisteredViews() const {
-  MutexLock lock(mu_);
-  return views_.size();
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    n += shard.views.size();
+  }
+  return n;
 }
 
 size_t MetadataService::NumAnnotations() const {
-  MutexLock lock(mu_);
-  return computations_.size();
+  std::shared_ptr<const AnalysisSnapshot> snapshot = AnalysisView();
+  return snapshot == nullptr ? 0 : snapshot->computations.size();
 }
 
 size_t MetadataService::NumActiveLocks() const {
-  MutexLock lock(mu_);
-  return locks_.size();
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    n += shard.locks.size();
+  }
+  return n;
 }
 
 std::vector<std::pair<Hash128, uint64_t>> MetadataService::HeldLocks() const {
-  MutexLock lock(mu_);
   std::vector<std::pair<Hash128, uint64_t>> out;
-  out.reserve(locks_.size());
-  for (const auto& [precise, held] : locks_) {
-    out.emplace_back(precise, held.job_id);
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [precise, held] : shard.locks) {
+      out.emplace_back(precise, held.job_id);
+    }
   }
   return out;
 }
 
 std::vector<MaterializedViewInfo> MetadataService::ListViews() const {
-  MutexLock lock(mu_);
   std::vector<MaterializedViewInfo> out;
-  out.reserve(views_.size());
-  for (const auto& [precise, view] : views_) out.push_back(view.info);
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [precise, view] : shard.views) out.push_back(view.info);
+  }
   return out;
 }
 

@@ -1,7 +1,9 @@
 #ifndef CLOUDVIEWS_METADATA_METADATA_SERVICE_H_
 #define CLOUDVIEWS_METADATA_METADATA_SERVICE_H_
 
-#include <map>
+#include <array>
+#include <atomic>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -42,6 +44,13 @@ struct AnnotatedComputation {
 /// \brief The CloudViews metadata service (Fig 9), backed by AzureSQL in
 /// production; here an in-memory, thread-safe store on the simulated
 /// cluster.
+///
+/// Concurrency layout (see DESIGN.md "Recurring-job fast path"): the
+/// registered-view map and build locks are striped across kNumShards
+/// signature-keyed shards so concurrent SubmitJobs stop convoying on one
+/// service-wide mutex, while the analyzer output + tag inverted index —
+/// written rarely, read on every lookup — live in an immutable snapshot
+/// swapped behind a short-critical-section pointer lock.
 class MetadataService : public ViewCatalogInterface {
  public:
   /// `wall_clock` drives build-lock *leases* (and instrument timing): a
@@ -58,10 +67,14 @@ class MetadataService : public ViewCatalogInterface {
         wall_clock_(wall_clock != nullptr ? wall_clock
                                           : MonotonicClock::Real()) {}
 
-  /// Publishes lookup/hit-miss/lock counters and the service-mutex wait
-  /// histogram (the contention signal for the Sec 6.1 exclusive build
-  /// locks) into `metrics`. `wall_clock` times the mutex waits; null keeps
-  /// the constructor-supplied (or real) clock. Call before concurrent use.
+  /// Number of signature-keyed shard stripes for views + build locks.
+  static constexpr size_t kNumShards = 8;
+
+  /// Publishes lookup/hit-miss/lock counters and the mutex wait histograms
+  /// (the aggregate `cv_metadata_lock_wait_seconds` plus one labeled
+  /// histogram per shard stripe — the per-shard contention signal) into
+  /// `metrics`. `wall_clock` times the mutex waits; null keeps the
+  /// constructor-supplied (or real) clock. Call before concurrent use.
   void SetMetrics(obs::MetricsRegistry* metrics,
                   MonotonicClock* wall_clock = nullptr);
 
@@ -69,10 +82,18 @@ class MetadataService : public ViewCatalogInterface {
   /// metadata.propose points). Call before concurrent use; null disables.
   void SetFaultInjector(fault::FaultInjector* fault) { fault_ = fault; }
 
+  /// Monotone counter bumped on every catalog state change a cached plan
+  /// could depend on: analysis reload, view registration / purge / drop,
+  /// build-lock grant / release. A plan compiled at epoch E is valid only
+  /// while CatalogEpoch() == E (the plan cache's invalidation signal).
+  uint64_t CatalogEpoch() const {
+    return catalog_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Installs a new analysis (replacing the previous one), rebuilding the
   /// tag inverted index. Called when the analyzer output is refreshed.
   void LoadAnalysis(const std::vector<AnnotatedComputation>& computations)
-      EXCLUDES(mu_);
+      EXCLUDES(analysis_mu_);
 
   /// Step 1/2 of Fig 9: one request per job returning every annotation
   /// relevant to any of the job's tags (may contain false positives — the
@@ -80,30 +101,28 @@ class MetadataService : public ViewCatalogInterface {
   /// latency through `latency_seconds` when non-null.
   std::vector<ViewAnnotation> GetRelevantViews(
       const std::vector<std::string>& tags,
-      double* latency_seconds = nullptr) const EXCLUDES(mu_);
+      double* latency_seconds = nullptr) const EXCLUDES(analysis_mu_);
 
   /// Fallible variant of GetRelevantViews: the metadata.lookup injection
   /// point (keyed by the joined tags) models a lookup timeout. Callers
   /// must degrade to running without reuse, never fail the job.
   Result<std::vector<ViewAnnotation>> TryGetRelevantViews(
       const std::vector<std::string>& tags,
-      double* latency_seconds = nullptr) const EXCLUDES(mu_);
+      double* latency_seconds = nullptr) const EXCLUDES(analysis_mu_);
 
   /// Looks up the loaded annotation for one computation template (admin
   /// drill-down and eviction use this).
   std::optional<ViewAnnotation> FindAnnotation(const Hash128& normalized) const
-      EXCLUDES(mu_);
+      EXCLUDES(analysis_mu_);
 
   // --- ViewCatalogInterface (optimizer-facing) -----------------------------
 
   std::optional<MaterializedViewInfo> FindMaterialized(
-      const Hash128& normalized, const Hash128& precise) override
-      EXCLUDES(mu_);
+      const Hash128& normalized, const Hash128& precise) override;
 
   bool ProposeMaterialize(const Hash128& normalized, const Hash128& precise,
                           uint64_t job_id,
-                          double expected_build_seconds) override
-      EXCLUDES(mu_);
+                          double expected_build_seconds) override;
 
   // --- Job-manager-facing ---------------------------------------------------
 
@@ -118,20 +137,19 @@ class MetadataService : public ViewCatalogInterface {
   /// idempotent OK). Callers must drop their written view file on
   /// rejection — the metadata decision is authoritative.
   Status ReportMaterialized(const MaterializedViewInfo& info,
-                            LogicalTime expires_at) EXCLUDES(mu_);
+                            LogicalTime expires_at);
 
   /// Releases a build lock without registering (job failed after
   /// proposing). Idempotent; only the owning job's lock is released. The
   /// lock also auto-expires (logical expiry or wall lease).
-  void AbandonLock(const Hash128& precise, uint64_t job_id) override
-      EXCLUDES(mu_);
+  void AbandonLock(const Hash128& precise, uint64_t job_id) override;
 
   /// Removes expired views from the metadata *first*, then deletes their
   /// files (Sec 5.4 ordering). Returns the number of views purged.
-  size_t PurgeExpired() EXCLUDES(mu_);
+  size_t PurgeExpired();
 
   /// Drops a view outright (admin reclamation, Sec 5.4).
-  Status DropView(const Hash128& precise) EXCLUDES(mu_);
+  Status DropView(const Hash128& precise);
 
   // --- Introspection ----------------------------------------------------------
 
@@ -147,18 +165,18 @@ class MetadataService : public ViewCatalogInterface {
     uint64_t views_registered = 0;
     uint64_t views_purged = 0;
   };
-  Counters counters() const EXCLUDES(mu_);
+  Counters counters() const;
 
-  size_t NumRegisteredViews() const EXCLUDES(mu_);
-  size_t NumAnnotations() const EXCLUDES(mu_);
-  std::vector<MaterializedViewInfo> ListViews() const EXCLUDES(mu_);
+  size_t NumRegisteredViews() const;
+  size_t NumAnnotations() const EXCLUDES(analysis_mu_);
+  std::vector<MaterializedViewInfo> ListViews() const;
 
   /// Build locks currently held (expired-but-unreclaimed included). The
   /// leak-freedom invariant tested after every workload: this must be
   /// empty once all jobs have finished.
-  size_t NumActiveLocks() const EXCLUDES(mu_);
+  size_t NumActiveLocks() const;
   /// (precise signature, owning job) of every held lock, for diagnostics.
-  std::vector<std::pair<Hash128, uint64_t>> HeldLocks() const EXCLUDES(mu_);
+  std::vector<std::pair<Hash128, uint64_t>> HeldLocks() const;
 
   /// Simulated per-request latency under the configured thread count.
   double SimulatedLookupLatency() const;
@@ -178,6 +196,39 @@ class MetadataService : public ViewCatalogInterface {
     LogicalTime expires_at;
   };
 
+  /// Immutable analyzer output + tag inverted index. Replaced wholesale by
+  /// LoadAnalysis; lookups grab the shared_ptr under analysis_mu_ (a
+  /// pointer copy) and read without any lock — the read-mostly snapshot
+  /// path of the metadata hot path.
+  struct AnalysisSnapshot {
+    std::vector<AnnotatedComputation> computations;
+    // shard-stripe: immutable after construction — this map is only ever
+    // read through a shared_ptr<const AnalysisSnapshot>, never mutated
+    // under a service-wide mutex.
+    std::unordered_map<std::string, std::set<size_t>> tag_index;
+  };
+
+  /// One signature-keyed stripe of the view/lock state. A precise
+  /// signature's views entry and build lock live in the same shard, so
+  /// FindMaterialized / ProposeMaterialize / ReportMaterialized stay
+  /// atomic per signature while different signatures stop convoying on a
+  /// single service-wide mutex (Sec 7.3 measures this lookup path).
+  struct Shard {
+    mutable Mutex mu;
+    // shard-stripe: `mu` is this stripe's own mutex (1/kNumShards of the
+    // keyspace, selected by precise-signature hash), not a service-wide
+    // lock — see DESIGN.md "Recurring-job fast path".
+    std::unordered_map<Hash128, RegisteredView, Hash128Hasher> views
+        GUARDED_BY(mu);
+    // shard-stripe: same stripe mutex as `views` above; a signature's view
+    // and build lock must flip atomically together.
+    std::unordered_map<Hash128, BuildLock, Hash128Hasher> locks
+        GUARDED_BY(mu);
+    /// Per-stripe wait histogram (null when uninstrumented); set once in
+    /// SetMetrics before concurrent use.
+    obs::Histogram* lock_wait = nullptr;
+  };
+
   /// Instrument handles; all null when uninstrumented.
   struct Instruments {
     obs::Counter* lookups = nullptr;
@@ -194,11 +245,44 @@ class MetadataService : public ViewCatalogInterface {
     obs::Histogram* lock_wait = nullptr;
   };
 
+  /// Monotonically increasing counters, lock-free so the striped hot path
+  /// never funnels through a bookkeeping mutex. counters() snapshots them.
+  struct AtomicCounters {
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> proposals{0};
+    std::atomic<uint64_t> locks_granted{0};
+    std::atomic<uint64_t> locks_denied{0};
+    std::atomic<uint64_t> locks_abandoned{0};
+    std::atomic<uint64_t> leases_reclaimed{0};
+    std::atomic<uint64_t> stale_registrations_rejected{0};
+    std::atomic<uint64_t> orphans_cleaned{0};
+    std::atomic<uint64_t> views_registered{0};
+    std::atomic<uint64_t> views_purged{0};
+  };
+
   /// True when `lock` is expired on either timeline; see BuildLock.
-  bool LockExpired(const BuildLock& lock, LogicalTime now,
-                   double wall_now) const REQUIRES(mu_) {
+  static bool LockExpired(const BuildLock& lock, LogicalTime now,
+                          double wall_now) {
     return lock.expires_at <= now || lock.lease_deadline_wall <= wall_now;
   }
+
+  static size_t ShardIndex(const Hash128& precise) {
+    return static_cast<size_t>(precise.lo) % kNumShards;
+  }
+  Shard& ShardFor(const Hash128& precise) {
+    return shards_[ShardIndex(precise)];
+  }
+
+  /// Catalog changed in a way a cached plan could observe; invalidate.
+  void BumpEpoch() { catalog_epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Grabs the current analysis snapshot (may be null before the first
+  /// LoadAnalysis).
+  std::shared_ptr<const AnalysisSnapshot> AnalysisView() const
+      EXCLUDES(analysis_mu_);
+
+  /// Refreshes the registered-view gauge from total_views_.
+  void UpdateViewsGauge();
 
   SimulatedClock* clock_;
   StorageManager* storage_;
@@ -208,18 +292,19 @@ class MetadataService : public ViewCatalogInterface {
   fault::FaultInjector* fault_ = nullptr;
   Instruments obs_;
 
-  /// One service-wide lock: guards the analyzer output + tag inverted
-  /// index, the registered-view map, and the exclusive build locks of
-  /// Sec 6.1/6.4 (build-build and build-use synchronization).
-  mutable Mutex mu_;
-  std::vector<AnnotatedComputation> computations_ GUARDED_BY(mu_);
-  std::unordered_map<std::string, std::set<size_t>> tag_index_
-      GUARDED_BY(mu_);
-  std::unordered_map<Hash128, RegisteredView, Hash128Hasher> views_
-      GUARDED_BY(mu_);
-  std::unordered_map<Hash128, BuildLock, Hash128Hasher> locks_
-      GUARDED_BY(mu_);
-  mutable Counters counters_ GUARDED_BY(mu_);
+  /// Signature-keyed stripes for registered views + build locks; see Shard.
+  std::array<Shard, kNumShards> shards_;
+
+  /// Guards only the snapshot pointer swap — the snapshot itself is
+  /// immutable and read lock-free (see AnalysisSnapshot).
+  mutable Mutex analysis_mu_;
+  std::shared_ptr<const AnalysisSnapshot> analysis_ GUARDED_BY(analysis_mu_);
+
+  /// Starts at 1 so 0 can mean "no epoch observed" in callers.
+  std::atomic<uint64_t> catalog_epoch_{1};
+  /// Registered views across all shards (feeds the gauge without a sweep).
+  std::atomic<int64_t> total_views_{0};
+  mutable AtomicCounters counters_;
 };
 
 }  // namespace cloudviews

@@ -28,6 +28,23 @@ class SCOPED_CAPABILITY TimedMutexLock {
       mu_.Lock();
     }
   }
+
+  /// Same, feeding the wait into two histograms — a specific one (e.g. one
+  /// metadata shard stripe) and an aggregate one. Either may be null; with
+  /// both null it degenerates to a plain MutexLock.
+  TimedMutexLock(Mutex& mu, Histogram* wait_hist, Histogram* aggregate_hist,
+                 MonotonicClock* clock) ACQUIRE(mu)
+      : mu_(mu) {
+    if (wait_hist != nullptr || aggregate_hist != nullptr) {
+      double start = clock->NowSeconds();
+      mu_.Lock();
+      double waited = clock->NowSeconds() - start;
+      if (wait_hist != nullptr) wait_hist->Observe(waited);
+      if (aggregate_hist != nullptr) aggregate_hist->Observe(waited);
+    } else {
+      mu_.Lock();
+    }
+  }
   ~TimedMutexLock() RELEASE() { mu_.Unlock(); }
 
   TimedMutexLock(const TimedMutexLock&) = delete;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "fault/fault_injector.h"
+#include "signature/signature.h"
 
 namespace cloudviews {
 
@@ -82,6 +83,7 @@ void JobService::SetObservability(obs::MetricsRegistry* metrics,
       metrics->GetCounter("cv_views_stale_registration_dropped_total", {},
                           "View files deleted because the metadata service "
                           "rejected their registration");
+  plan_cache_.SetMetrics(metrics);
 }
 
 std::vector<std::string> JobService::DefaultTags(const JobDefinition& def) {
@@ -102,6 +104,21 @@ void JobService::AbandonSpoolLocks(const PlanNodePtr& root, uint64_t job_id) {
                              job_id);
     }
   }
+}
+
+bool JobService::CachedViewReadsLive(const PlanNodePtr& root) {
+  if (root == nullptr) return false;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(root, &nodes);
+  for (PlanNode* n : nodes) {
+    if (n->kind() != OpKind::kViewRead) continue;
+    if (metadata_ == nullptr) return false;
+    auto* vr = static_cast<ViewReadNode*>(n);
+    auto info = metadata_->FindMaterialized(vr->normalized_signature(),
+                                            vr->precise_signature());
+    if (!info.has_value() || info->path != vr->view_path()) return false;
+  }
+  return true;
 }
 
 void JobService::RegisterMaterializedView(const SpoolNode& spool,
@@ -170,7 +187,55 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   if (options.use_feedback_statistics && repository_ != nullptr) {
     ctx.feedback = repository_;
   }
-  if (options.enable_cloudviews && metadata_ != nullptr) {
+
+  // --- Recurring-job fast path: plan-cache probe (see DESIGN.md) -----------
+  const bool cloudviews_on = options.enable_cloudviews && metadata_ != nullptr;
+  const bool cache_on = options.enable_plan_cache;
+  PlanCache::Key cache_key;
+  Hash128 precise_sig;
+  PlanCache::Probe probe;
+  if (cache_on) {
+    // The epoch is read BEFORE the probe and the metadata lookup: a
+    // concurrent catalog change then tags this compilation with the older
+    // epoch and conservatively invalidates it later — never the reverse.
+    result.catalog_epoch =
+        metadata_ != nullptr ? metadata_->CatalogEpoch() : 1;
+    SubgraphSignatures sigs = ComputeSignatures(*def.logical_plan);
+    cache_key = PlanCache::Key{sigs.normalized, cloudviews_on};
+    precise_sig = sigs.precise;
+    probe = plan_cache_.Lookup(cache_key, result.catalog_epoch, precise_sig);
+  }
+
+  OptimizedPlan optimized;
+  bool have_plan = false;
+  bool served_full = false;
+  bool served_skeleton = false;
+  double optimize_start = wall->NowSeconds();
+
+  if (probe.rewritten_valid) {
+    // Full hit: same template, same data, unchanged catalog epoch. Still
+    // validate every view read against the live catalog (clock-driven
+    // expiry bumps no epoch) before skipping the whole compile pipeline.
+    if (CachedViewReadsLive(probe.entry->rewritten)) {
+      obs::Span cache_span = job_span.StartChild("plan_cache");
+      auto finished =
+          optimizer_.FinishCachedPlan(probe.entry->rewritten->Clone(), ctx);
+      if (finished.ok()) {
+        optimized = std::move(finished).ValueOrDie();
+        have_plan = true;
+        served_full = true;
+        result.plan_cache_hit = true;
+        plan_cache_.OnServed(/*full_hit=*/true);
+        cache_span.SetAttribute("tier", "full");
+        cache_span.SetAttribute("estimated_cost", optimized.estimated_cost);
+      }
+      cache_span.End();
+    } else {
+      plan_cache_.OnDemoted();
+    }
+  }
+
+  if (!have_plan && cloudviews_on) {
     ctx.view_catalog = metadata_;
     std::vector<std::string> tags =
         def.tags.empty() ? DefaultTags(def) : def.tags;
@@ -205,14 +270,54 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
     }
   }
 
-  double optimize_start = wall->NowSeconds();
-  obs::Span optimize_span = job_span.StartChild("optimize");
-  ctx.span = optimize_span.active() ? &optimize_span : nullptr;
-  auto optimized_or = optimizer_.Optimize(def.logical_plan, ctx);
-  if (!optimized_or.ok()) return fail(optimized_or.status());
-  OptimizedPlan optimized = std::move(optimized_or).ValueOrDie();
-  optimize_span.SetAttribute("estimated_cost", optimized.estimated_cost);
-  optimize_span.End();
+  // Skeleton hit: same template, but new data or a moved catalog epoch.
+  // Rebind the `{param}` holes onto a clone of the cached logically-
+  // rewritten tree, then re-run physical planning + the view passes —
+  // parse and logical optimize are skipped (no `logical_rewrite` span).
+  if (!have_plan && cache_on && probe.entry != nullptr &&
+      probe.entry->skeleton != nullptr) {
+    PlanNodePtr candidate = probe.entry->skeleton->Clone();
+    if (RebindSkeletonParams(candidate.get(), def.logical_plan.get())) {
+      optimize_start = wall->NowSeconds();
+      obs::Span optimize_span = job_span.StartChild("optimize");
+      optimize_span.SetAttribute("plan_cache", "skeleton");
+      ctx.span = optimize_span.active() ? &optimize_span : nullptr;
+      auto from_skeleton =
+          optimizer_.OptimizeFromSkeleton(std::move(candidate), ctx);
+      if (from_skeleton.ok()) {
+        optimized = std::move(from_skeleton).ValueOrDie();
+        have_plan = true;
+        served_skeleton = true;
+        result.plan_cache_hit = true;
+        plan_cache_.OnServed(/*full_hit=*/false);
+        optimize_span.SetAttribute("estimated_cost",
+                                   optimized.estimated_cost);
+      }
+      // On failure fall through to a full compile — the cache must never
+      // fail a job a cold compile would have run.
+      optimize_span.End();
+      ctx.span = nullptr;
+    } else {
+      plan_cache_.OnRebindFailed();
+    }
+  }
+
+  // Cold path: full parse + logical rewrite + physical optimize, capturing
+  // the logically-rewritten skeleton for the cache on the way out.
+  PlanNodePtr skeleton_captured;
+  if (!have_plan) {
+    optimize_start = wall->NowSeconds();
+    obs::Span optimize_span = job_span.StartChild("optimize");
+    ctx.span = optimize_span.active() ? &optimize_span : nullptr;
+    if (cache_on) ctx.skeleton_out = &skeleton_captured;
+    auto optimized_or = optimizer_.Optimize(def.logical_plan, ctx);
+    ctx.skeleton_out = nullptr;
+    ctx.span = nullptr;
+    if (!optimized_or.ok()) return fail(optimized_or.status());
+    optimized = std::move(optimized_or).ValueOrDie();
+    optimize_span.SetAttribute("estimated_cost", optimized.estimated_cost);
+    optimize_span.End();
+  }
   if (obs_.stage_optimize != nullptr) {
     obs_.stage_optimize->Observe(wall->NowSeconds() - optimize_start);
     obs_.views_reused->Increment(
@@ -278,10 +383,14 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
           static_cast<uint64_t>(result.views_fallback));
       obs_.fallback_jobs->Increment();
     }
+    // The cached entry (if any) led to or coexists with a plan reading a
+    // dead view — drop it so the next occurrence replans from scratch.
+    if (cache_on) plan_cache_.Invalidate(cache_key);
     OptimizeContext plain_ctx = ctx;
     plain_ctx.view_catalog = nullptr;
     plain_ctx.annotations.clear();
     plain_ctx.span = nullptr;
+    plain_ctx.skeleton_out = nullptr;
     auto replanned = optimizer_.Optimize(def.logical_plan, plain_ctx);
     if (!replanned.ok()) return fail(replanned.status());
     optimized = std::move(replanned).ValueOrDie();
@@ -312,6 +421,38 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   if (obs_.stage_execute != nullptr) {
     obs_.stage_execute->Observe(wall->NowSeconds() - execute_start);
   }
+
+  // --- Publish into the plan cache -----------------------------------------
+  // Only after a successful run, and never from degraded compilations: a
+  // lookup-degraded plan is reuse-blind and a fallback already invalidated
+  // the entry. A full hit needs no re-insert (Lookup refreshed the LRU).
+  if (cache_on && !served_full && !result.lookup_degraded &&
+      result.views_fallback == 0) {
+    PlanCache::Entry entry;
+    entry.catalog_epoch = result.catalog_epoch;
+    entry.precise = precise_sig;
+    if (served_skeleton) {
+      entry.skeleton = probe.entry->skeleton;  // shared immutable tree
+    } else if (skeleton_captured != nullptr &&
+               !HasExprLevelParamHoles(*def.logical_plan)) {
+      entry.skeleton = std::move(skeleton_captured);
+    }
+    // Plans that materialized views carry Spool side effects (build locks,
+    // view writes) and must not replay; the skeleton tier still serves the
+    // template. A lock-denied plan is also excluded: it lacks the Spool a
+    // fresh optimize would add once the lock frees up, and lock expiry
+    // bumps no catalog epoch — a full hit would silently stop trying to
+    // build the view.
+    if (optimized.views_materialized == 0 &&
+        result.materialize_lock_denied == 0) {
+      entry.rewritten = optimized.root->Clone();
+    }
+    if (entry.skeleton != nullptr || entry.rewritten != nullptr) {
+      plan_cache_.Insert(cache_key, std::move(entry));
+    }
+  }
+  job_span.SetAttribute("plan_cache_hit", result.plan_cache_hit);
+  job_span.SetAttribute("catalog_epoch", result.catalog_epoch);
 
   // --- Record in the workload repository (feedback loop) -------------------
   if (options.record_in_repository && repository_ != nullptr) {

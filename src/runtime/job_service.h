@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
+#include "runtime/plan_cache.h"
 #include "runtime/workload_repository.h"
 
 namespace cloudviews {
@@ -55,6 +56,12 @@ struct JobResult {
   /// The metadata lookup failed persistently and the job ran without any
   /// reuse information instead of failing.
   bool lookup_degraded = false;
+  /// The plan came from the plan cache (full or skeleton tier): parse +
+  /// logical optimize were skipped — the recurring-job fast path.
+  bool plan_cache_hit = false;
+  /// Metadata-service catalog epoch observed at submit (0 when the plan
+  /// cache was disabled for this submission).
+  uint64_t catalog_epoch = 0;
   double estimated_cost = 0;
   /// The job's finished lifecycle trace (root span "job" with
   /// metadata_lookup / optimize / execute / record children); null when
@@ -72,6 +79,10 @@ struct JobServiceOptions {
   /// Use the repository's observed statistics during optimization; ablation
   /// knob for the feedback loop (Sec 5.1).
   bool use_feedback_statistics = true;
+  /// Recurring-job fast path: serve repeated templates from the
+  /// signature-keyed plan cache (epoch-validated; byte-identical results).
+  /// Off forces a full parse + optimize on every submission.
+  bool enable_plan_cache = true;
   /// Per-submission override of the service-wide execution options (worker
   /// threads, morsel size); unset uses the options the service was built
   /// with.
@@ -135,6 +146,9 @@ class JobService {
   /// Default tags used for the metadata inverted index.
   static std::vector<std::string> DefaultTags(const JobDefinition& def);
 
+  /// Plan-cache introspection (hit/miss/invalidation statistics).
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   /// Returns the shared worker pool for a job running with `opts`, creating
   /// it on first use; null when the job runs single-threaded. The pool is
@@ -175,6 +189,12 @@ class JobService {
   void RegisterMaterializedView(const SpoolNode& spool,
                                 const StreamData& view, uint64_t job_id);
 
+  /// True when every ViewRead under `root` still resolves to the same live
+  /// view in the metadata service. Guards serving a cached rewritten plan:
+  /// clock-driven view expiry bumps no catalog epoch, so the epoch check
+  /// alone cannot rule out a stale view scan.
+  bool CachedViewReadsLive(const PlanNodePtr& root);
+
   SimulatedClock* clock_;
   StorageManager* storage_;
   MetadataService* metadata_;  // may be null (CloudViews unavailable)
@@ -188,6 +208,8 @@ class JobService {
   obs::Tracer* tracer_ = nullptr;
   MonotonicClock* wall_clock_ = nullptr;
   Instruments obs_;
+  /// Recurring-job fast path (thread-safe; see PlanCache).
+  PlanCache plan_cache_;
   std::atomic<uint64_t> next_job_id_{1};
   Mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_ GUARDED_BY(pool_mu_);  // lazily created

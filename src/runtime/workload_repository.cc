@@ -1,5 +1,7 @@
 #include "runtime/workload_repository.h"
 
+#include <algorithm>
+
 #include "signature/signature.h"
 
 namespace cloudviews {
@@ -35,33 +37,80 @@ void WorkloadRepository::SetMetrics(obs::MetricsRegistry* metrics) {
   inst.indexed_subgraphs =
       metrics->GetGauge("cv_repository_indexed_subgraphs", {},
                         "Distinct subgraph templates with statistics");
+  SetInstruments(inst);
+}
+
+void WorkloadRepository::SetInstruments(const Instruments& instruments) {
   MutexLock lock(mu_);
-  obs_ = inst;
+  obs_ = instruments;
 }
 
 void WorkloadRepository::AddJob(JobRecord record) {
   auto shared = std::make_shared<const JobRecord>(std::move(record));
+
+  // Maintain the feedback index: every subgraph of the executed plan
+  // contributes its observed statistics under its normalized signature.
+  // Subgraph enumeration, signature hashing, and CPU attribution are pure
+  // computation over the immutable record — done before taking mu_ so
+  // repository ingest does not serialize concurrent job completions.
+  struct Observation {
+    Hash128 signature;
+    double rows = 0, bytes = 0, latency = 0, cpu = 0;
+  };
+  std::vector<Observation> observed;
+  if (shared->plan != nullptr) {
+    const PlanRuntimeStats& stats = shared->run_stats.operators;
+    std::vector<SubgraphEntry> entries = EnumerateSubgraphs(shared->plan);
+    // Inclusive CPU for all subtrees in one pass: pre-order ids make each
+    // subtree the id range [i, i + size), so a prefix sum over per-id CPU
+    // answers every range in O(1) (the per-subtree re-walk made ingest
+    // O(n²) in plan size — while holding mu_).
+    int bound = 0;
+    for (const auto& entry : entries) {
+      bound = std::max(bound, entry.node->id() +
+                                  static_cast<int>(entry.node->SubtreeSize()));
+    }
+    std::vector<double> prefix(static_cast<size_t>(bound) + 1, 0.0);
+    for (const auto& [id, op] : stats) {
+      if (id >= 0 && id < bound) {
+        prefix[static_cast<size_t>(id) + 1] = op.cpu_seconds;
+      }
+    }
+    for (size_t i = 1; i < prefix.size(); ++i) prefix[i] += prefix[i - 1];
+    observed.reserve(entries.size());
+    for (const auto& entry : entries) {
+      auto it = stats.find(entry.node->id());
+      if (it == stats.end()) continue;
+      int first = std::clamp(entry.node->id(), 0, bound);
+      int last = std::clamp(
+          entry.node->id() + static_cast<int>(entry.node->SubtreeSize()), 0,
+          bound);
+      Observation o;
+      o.signature = entry.sigs.normalized;
+      o.rows = it->second.rows;
+      o.bytes = it->second.bytes;
+      o.latency = it->second.inclusive_seconds;
+      o.cpu = prefix[static_cast<size_t>(last)] -
+              prefix[static_cast<size_t>(first)];
+      observed.push_back(o);
+    }
+  }
+
   MutexLock lock(mu_);
   jobs_.push_back(shared);
   if (obs_.jobs_ingested != nullptr) obs_.jobs_ingested->Increment();
-
-  if (shared->plan == nullptr) return;
-  // Maintain the feedback index: every subgraph of the executed plan
-  // contributes its observed statistics under its normalized signature.
-  uint64_t observations = 0;
-  for (const auto& entry : EnumerateSubgraphs(shared->plan)) {
-    auto it = shared->run_stats.operators.find(entry.node->id());
-    if (it == shared->run_stats.operators.end()) continue;
-    Accumulator& acc = feedback_[entry.sigs.normalized];
-    acc.rows += it->second.rows;
-    acc.bytes += it->second.bytes;
-    acc.latency += it->second.inclusive_seconds;
-    acc.cpu += SubtreeCpuSeconds(*entry.node, shared->run_stats.operators);
+  for (const Observation& o : observed) {
+    Accumulator& acc = feedback_[o.signature];
+    acc.rows += o.rows;
+    acc.bytes += o.bytes;
+    acc.latency += o.latency;
+    acc.cpu += o.cpu;
     ++acc.n;
-    ++observations;
   }
   if (obs_.subgraphs_observed != nullptr) {
-    obs_.subgraphs_observed->Increment(observations);
+    obs_.subgraphs_observed->Increment(observed.size());
+  }
+  if (obs_.indexed_subgraphs != nullptr) {
     obs_.indexed_subgraphs->Set(static_cast<double>(feedback_.size()));
   }
 }

@@ -48,9 +48,25 @@ struct JobRecord {
 /// signature so *any* future job with a common subgraph benefits.
 class WorkloadRepository : public StatsProviderInterface {
  public:
+  /// Instrument handles; any subset may be null (uninstrumented).
+  struct Instruments {
+    obs::Counter* jobs_ingested = nullptr;
+    obs::Counter* subgraphs_observed = nullptr;
+    obs::Counter* lookups = nullptr;
+    obs::Counter* lookup_hits = nullptr;
+    obs::Gauge* indexed_subgraphs = nullptr;
+  };
+
   /// Publishes ingest counters (jobs, indexed subgraphs, feedback
   /// lookups) into `metrics`. Call before concurrent use.
   void SetMetrics(obs::MetricsRegistry* metrics) EXCLUDES(mu_);
+
+  /// Installs instrument handles directly. Unlike SetMetrics, any subset
+  /// may be wired — every handle is null-checked independently at use
+  /// (regression: the indexed-subgraphs gauge update used to hide behind
+  /// the observation counter's null check and crashed when only the
+  /// counter was wired). Call before concurrent use.
+  void SetInstruments(const Instruments& instruments) EXCLUDES(mu_);
 
   void AddJob(JobRecord record) EXCLUDES(mu_);
 
@@ -72,14 +88,6 @@ class WorkloadRepository : public StatsProviderInterface {
   struct Accumulator {
     double rows = 0, bytes = 0, latency = 0, cpu = 0;
     int64_t n = 0;
-  };
-
-  struct Instruments {
-    obs::Counter* jobs_ingested = nullptr;
-    obs::Counter* subgraphs_observed = nullptr;
-    obs::Counter* lookups = nullptr;
-    obs::Counter* lookup_hits = nullptr;
-    obs::Gauge* indexed_subgraphs = nullptr;
   };
 
   Instruments obs_;

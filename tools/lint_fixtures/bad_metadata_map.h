@@ -1,0 +1,35 @@
+// Seeded metadata-map-stripe violation: a GUARDED_BY'd map member in a
+// metadata header with no nearby justification comment. The test lints
+// this with the fabricated rel_path "src/metadata/bad_metadata_map.h".
+#ifndef CLOUDVIEWS_METADATA_BAD_METADATA_MAP_H_
+#define CLOUDVIEWS_METADATA_BAD_METADATA_MAP_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/mutex.h"
+
+namespace cloudviews {
+
+class BadMetadataMap {
+ private:
+  mutable Mutex mu_;
+
+  // VIOLATION: a whole-keyspace map serialized on one mutex, with no
+  // justification comment nearby.
+  std::unordered_map<std::string, int> views_ GUARDED_BY(mu_);
+
+  // shard-stripe: fixture stand-in for a per-stripe map guarded by its own
+  // stripe mutex rather than a service-wide lock.
+  std::map<std::string, int> locks_ GUARDED_BY(mu_);
+
+  int counter_ GUARDED_BY(mu_) = 0;
+
+  // An unguarded map never fires: nothing serializes on it.
+  std::unordered_map<std::string, int> cache_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_METADATA_BAD_METADATA_MAP_H_

@@ -185,6 +185,8 @@ std::vector<Violation> LintFile(const std::string& display_path,
       PathContains(rel_path, "common/clock") ||
       PathContains(rel_path, "src/obs/");
   const bool in_backoff = PathContains(rel_path, "fault/backoff");
+  const bool is_metadata_header =
+      is_header && PathContains(rel_path, "src/metadata/");
 
   static const std::vector<std::string> kRandomTokens = {
       "std::rand", "srand", "random_device", "time(nullptr)", "time(NULL)"};
@@ -295,6 +297,41 @@ std::vector<Violation> LintFile(const std::string& display_path,
                        "naked 'new'; use std::make_unique/std::make_shared "
                        "(or NOLINT(naked-new): <why> for an intentional "
                        "leak)"});
+      }
+    }
+    if (is_metadata_header) {
+      size_t mpos = text.find("std::map<");
+      if (mpos == std::string::npos) mpos = text.find("std::unordered_map<");
+      if (mpos != std::string::npos) {
+        // Join up to 3 following lines so a GUARDED_BY on the wrapped
+        // continuation of the declaration is seen.
+        std::string joined = text;
+        bool bc = in_block_comment;
+        for (size_t extra = 1;
+             extra <= 3 && idx + extra < raw_lines.size(); ++extra) {
+          joined += ' ';
+          joined += SanitizeLine(raw_lines[idx + extra], &bc);
+        }
+        if (joined.find("GUARDED_BY(") != std::string::npos) {
+          // A "shard-stripe" comment on this line or within the preceding
+          // 4 raw lines justifies the map (raw lines: the justification
+          // lives in a comment).
+          bool justified = false;
+          size_t lo = idx >= 4 ? idx - 4 : 0;
+          for (size_t j = lo; j <= idx && !justified; ++j) {
+            if (raw_lines[j].find("shard-stripe") != std::string::npos) {
+              justified = true;
+            }
+          }
+          if (!justified) {
+            out.push_back(
+                {display_path, line_no, "metadata-map-stripe",
+                 "mutex-guarded map member in a src/metadata/ header; the "
+                 "metadata hot path must stay sharded — stripe the map per "
+                 "signature shard, or add a 'shard-stripe: <why>' comment "
+                 "justifying the single lock"});
+          }
+        }
       }
     }
     size_t apos = 0;

@@ -30,6 +30,11 @@ struct Violation {
 ///                     (use std::make_unique / std::make_shared)
 ///  mutex-guarded      a header declaring a Mutex member must annotate the
 ///                     state it protects with GUARDED_BY / PT_GUARDED_BY
+///  metadata-map-stripe a GUARDED_BY'd std::map / std::unordered_map
+///                     member in a src/metadata/ header must carry a
+///                     nearby "shard-stripe" justification comment — the
+///                     metadata hot path is sharded (Sec 7.3) and must not
+///                     regrow a service-wide map behind a single mutex
 ///  assert-side-effect assert() whose argument mutates state (vanishes
 ///                     under NDEBUG)
 ///  header-guard       include guards must be CLOUDVIEWS_<PATH>_H_

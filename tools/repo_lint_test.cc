@@ -104,6 +104,69 @@ TEST(RepoLintTest, UnguardedMutexMemberFires) {
   EXPECT_EQ(violations.size(), 1u);
 }
 
+TEST(RepoLintTest, MetadataGuardedMapWithoutStripeJustificationFires) {
+  // The fixture lives in lint_fixtures/ but is linted as if it were a
+  // src/metadata/ header, where the rule is scoped.
+  auto violations =
+      LintFile("bad_metadata_map.h", "src/metadata/bad_metadata_map.h",
+               ReadFixture("bad_metadata_map.h"));
+  EXPECT_EQ(Rules(violations),
+            std::set<std::string>{"metadata-map-stripe"});
+  // Only the unjustified views_ map; the shard-stripe-justified locks_
+  // and the unguarded cache_ stay clean.
+  ASSERT_EQ(violations.size(), 1u);
+}
+
+TEST(RepoLintTest, MetadataMapRuleSeesWrappedGuardedBy) {
+  // GUARDED_BY on the continuation line of a wrapped declaration (the
+  // shape metadata_service.h actually uses) is still caught.
+  std::string content =
+      "#ifndef CLOUDVIEWS_METADATA_M_H_\n"
+      "#define CLOUDVIEWS_METADATA_M_H_\n"
+      "class M {\n"
+      "  mutable Mutex mu_;\n"
+      "  std::unordered_map<Hash128, RegisteredView, Hash128Hasher> views_\n"
+      "      GUARDED_BY(mu_);\n"
+      "};\n"
+      "#endif\n";
+  auto violations = LintFile("m.h", "src/metadata/m.h", content);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "metadata-map-stripe");
+  EXPECT_EQ(violations[0].line, 5);
+}
+
+TEST(RepoLintTest, MetadataMapRuleScopedToMetadataHeaders) {
+  // The same guarded map outside src/metadata/ is the general
+  // mutex-guarded concern, not this rule's.
+  std::string body =
+      "class C {\n"
+      "  mutable Mutex mu_;\n"
+      "  std::map<int, int> m_ GUARDED_BY(mu_);\n"
+      "};\n";
+  EXPECT_TRUE(LintFile("m.h", "src/runtime/m.h",
+                       "#ifndef CLOUDVIEWS_RUNTIME_M_H_\n"
+                       "#define CLOUDVIEWS_RUNTIME_M_H_\n" +
+                           body + "#endif\n")
+                  .empty());
+  // Headers only: a .cc in src/metadata/ holds implementation detail, not
+  // the service's state layout.
+  EXPECT_TRUE(
+      LintFile("m.cc", "src/metadata/metadata_service.cc", body).empty());
+}
+
+TEST(RepoLintTest, MetadataMapRuleHonorsReasonedNolint) {
+  std::string content =
+      "#ifndef CLOUDVIEWS_METADATA_M_H_\n"
+      "#define CLOUDVIEWS_METADATA_M_H_\n"
+      "class M {\n"
+      "  mutable Mutex mu_;\n"
+      "  std::map<int, int> m_ GUARDED_BY(mu_);"
+      "  // NOLINT(metadata-map-stripe): migration in flight\n"
+      "};\n"
+      "#endif\n";
+  EXPECT_TRUE(LintFile("m.h", "src/metadata/m.h", content).empty());
+}
+
 TEST(RepoLintTest, AssertSideEffectFires) {
   auto violations = LintFixture("bad_assert.cc");
   EXPECT_EQ(Rules(violations),
