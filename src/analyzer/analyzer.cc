@@ -92,6 +92,11 @@ AnalysisResult CloudViewsAnalyzer::Analyze(
     comp.annotation.frequency = agg->frequency;
     comp.annotation.lifetime_seconds = agg->max_recurrence_period;
     comp.annotation.offline = config_.offline_mode;
+    if (agg->definition != nullptr) {
+      comp.annotation.definition = agg->definition;
+      comp.annotation.features = std::make_shared<ViewFeatures>(
+          ComputeViewFeatures(*agg->definition));
+    }
     for (const auto& t : agg->templates) {
       comp.tags.push_back("template:" + t);
     }

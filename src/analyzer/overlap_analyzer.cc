@@ -44,6 +44,11 @@ void OverlapAnalyzer::AddJob(const std::shared_ptr<const JobRecord>& job) {
       agg.root_kind = entry.node->kind();
       agg.subtree_size = entry.subtree_size;
       agg.output_schema = entry.node->output_schema();
+      // Keep the first occurrence as the definition skeleton; any instance
+      // works, since containment matching only consults instance-stable
+      // structure and resolves concrete bounds per registered instance.
+      agg.definition = entry.node->Clone();
+      if (!agg.definition->Bind().ok()) agg.definition = nullptr;
     }
     ++agg.frequency;
     agg.jobs.insert(job->job_id);

@@ -19,6 +19,11 @@ struct SubgraphAggregate {
   OpKind root_kind = OpKind::kExtract;
   size_t subtree_size = 0;
   Schema output_schema;
+  /// Bound clone of the first mined occurrence — the definition skeleton
+  /// the containment matcher verifies candidates against structurally.
+  /// Null when the clone could not be bound (disables containment for the
+  /// template, never the exact tier).
+  PlanNodePtr definition;
 
   /// Total occurrences (the paper's "overlap frequency").
   int64_t frequency = 0;

@@ -104,6 +104,14 @@ std::string ExplainJob(const JobResult& result) {
       "candidate(s) rejected on cost, %d build lock(s) denied\n",
       result.views_reused, result.views_materialized,
       result.reuse_rejected_by_cost, result.materialize_lock_denied);
+  if (result.candidates_filtered > 0 || result.views_reused_subsumed > 0) {
+    out += StrFormat(
+        "  containment: %d candidate(s) filtered, %d verified, %d rejected; "
+        "%d view(s) reused by subsumption with %d compensation node(s)\n",
+        result.candidates_filtered, result.containment_verified,
+        result.containment_rejected, result.views_reused_subsumed,
+        result.compensation_nodes_added);
+  }
   if (result.views_fallback > 0 || result.lookup_degraded) {
     out += StrFormat(
         "  degraded: %d view read(s) fell back to the original plan%s\n",
@@ -187,6 +195,11 @@ std::string JobProfileJson(const JobResult& result) {
   w.Key("views_materialized").Int(result.views_materialized);
   w.Key("reuse_rejected_by_cost").Int(result.reuse_rejected_by_cost);
   w.Key("materialize_lock_denied").Int(result.materialize_lock_denied);
+  w.Key("candidates_filtered").Int(result.candidates_filtered);
+  w.Key("containment_verified").Int(result.containment_verified);
+  w.Key("containment_rejected").Int(result.containment_rejected);
+  w.Key("views_reused_subsumed").Int(result.views_reused_subsumed);
+  w.Key("compensation_nodes_added").Int(result.compensation_nodes_added);
   w.Key("views_fallback").Int(result.views_fallback);
   w.Key("lookup_degraded").Bool(result.lookup_degraded);
   w.Key("plan_cache_hit").Bool(result.plan_cache_hit);

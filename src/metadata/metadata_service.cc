@@ -66,6 +66,10 @@ void MetadataService::LoadAnalysis(
     for (const auto& tag : snapshot->computations[i].tags) {
       snapshot->tag_index[tag].insert(i);
     }
+    const auto& features = snapshot->computations[i].annotation.features;
+    if (features != nullptr) {
+      snapshot->table_set_index[features->table_set_key].push_back(i);
+    }
   }
   {
     MutexLock lock(analysis_mu_);
@@ -144,6 +148,54 @@ std::optional<ViewAnnotation> MetadataService::FindAnnotation(
     }
   }
   return std::nullopt;
+}
+
+std::vector<ViewAnnotation> MetadataService::GetContainmentCandidates(
+    const std::vector<Hash128>& table_set_keys) const {
+  std::vector<ViewAnnotation> out;
+  std::shared_ptr<const AnalysisSnapshot> snapshot = AnalysisView();
+  if (snapshot == nullptr) return out;
+  std::set<size_t> hits;
+  for (const auto& key : table_set_keys) {
+    auto it = snapshot->table_set_index.find(key);
+    if (it == snapshot->table_set_index.end()) continue;
+    hits.insert(it->second.begin(), it->second.end());
+  }
+  out.reserve(hits.size());
+  for (size_t i : hits) out.push_back(snapshot->computations[i].annotation);
+  return out;
+}
+
+std::optional<MaterializedViewInfo> MetadataService::LookupLive(
+    const Hash128& precise) {
+  Shard& shard = ShardFor(precise);
+  obs::TimedMutexLock lock(shard.mu, shard.lock_wait, obs_.lock_wait,
+                           wall_clock_);
+  auto it = shard.views.find(precise);
+  if (it == shard.views.end()) return std::nullopt;
+  if (it->second.expires_at != 0 && it->second.expires_at <= clock_->Now()) {
+    return std::nullopt;  // expired but not yet purged
+  }
+  return it->second.info;
+}
+
+std::vector<MaterializedViewInfo> MetadataService::FindSubsumableInstances(
+    const Hash128& normalized) {
+  // std::set keeps the precise signatures ordered, which is the matcher's
+  // determinism contract for instance iteration.
+  std::vector<Hash128> precise_sigs;
+  {
+    MutexLock lock(subsume_mu_);
+    auto it = instances_by_normalized_.find(normalized);
+    if (it == instances_by_normalized_.end()) return {};
+    precise_sigs.assign(it->second.begin(), it->second.end());
+  }
+  std::vector<MaterializedViewInfo> out;
+  for (const auto& precise : precise_sigs) {
+    auto info = LookupLive(precise);
+    if (info.has_value()) out.push_back(std::move(*info));
+  }
+  return out;
 }
 
 std::optional<MaterializedViewInfo> MetadataService::FindMaterialized(
@@ -290,6 +342,14 @@ Status MetadataService::ReportMaterialized(const MaterializedViewInfo& info,
     if (obs_.views_registered != nullptr) obs_.views_registered->Increment();
     UpdateViewsGauge();
   }
+  {
+    // Secondary containment index; maintained outside the shard mutex
+    // (subsume_mu_ never nests with shard mutexes) and validated against
+    // the shards at read time, so this brief window is benign.
+    MutexLock lock(subsume_mu_);
+    instances_by_normalized_[info.normalized_signature].insert(
+        info.precise_signature);
+  }
   // A newly registered view invalidates cached plans that could have
   // reused it — never serve a stale rewrite.
   BumpEpoch();
@@ -318,6 +378,7 @@ void MetadataService::AbandonLock(const Hash128& precise, uint64_t job_id) {
 size_t MetadataService::PurgeExpired() {
   LogicalTime now = clock_->Now();
   std::vector<std::string> paths_to_delete;
+  std::vector<std::pair<Hash128, Hash128>> purged_sigs;  // normalized, precise
   for (Shard& shard : shards_) {
     // Clean the metadata first so no job can be handed an expired view,
     // then delete the physical files (Sec 5.4).
@@ -326,6 +387,8 @@ size_t MetadataService::PurgeExpired() {
     for (auto it = shard.views.begin(); it != shard.views.end();) {
       if (it->second.expires_at != 0 && it->second.expires_at <= now) {
         paths_to_delete.push_back(it->second.info.path);
+        purged_sigs.emplace_back(it->second.info.normalized_signature,
+                                 it->second.info.precise_signature);
         it = shard.views.erase(it);
         total_views_.fetch_sub(1, std::memory_order_relaxed);
         counters_.views_purged.fetch_add(1, std::memory_order_relaxed);
@@ -333,6 +396,15 @@ size_t MetadataService::PurgeExpired() {
       } else {
         ++it;
       }
+    }
+  }
+  if (!purged_sigs.empty()) {
+    MutexLock lock(subsume_mu_);
+    for (const auto& [normalized, precise] : purged_sigs) {
+      auto it = instances_by_normalized_.find(normalized);
+      if (it == instances_by_normalized_.end()) continue;
+      it->second.erase(precise);
+      if (it->second.empty()) instances_by_normalized_.erase(it);
     }
   }
   UpdateViewsGauge();
@@ -348,6 +420,7 @@ size_t MetadataService::PurgeExpired() {
 
 Status MetadataService::DropView(const Hash128& precise) {
   std::string path;
+  Hash128 normalized;
   {
     Shard& shard = ShardFor(precise);
     obs::TimedMutexLock lock(shard.mu, shard.lock_wait, obs_.lock_wait,
@@ -357,8 +430,17 @@ Status MetadataService::DropView(const Hash128& precise) {
       return Status::NotFound("view not registered");
     }
     path = it->second.info.path;
+    normalized = it->second.info.normalized_signature;
     shard.views.erase(it);
     total_views_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  {
+    MutexLock lock(subsume_mu_);
+    auto it = instances_by_normalized_.find(normalized);
+    if (it != instances_by_normalized_.end()) {
+      it->second.erase(precise);
+      if (it->second.empty()) instances_by_normalized_.erase(it);
+    }
   }
   UpdateViewsGauge();
   BumpEpoch();

@@ -115,6 +115,14 @@ class MetadataService : public ViewCatalogInterface {
   std::optional<ViewAnnotation> FindAnnotation(const Hash128& normalized) const
       EXCLUDES(analysis_mu_);
 
+  /// Containment tier 1: every annotation whose feature table-set key
+  /// matches one of `table_set_keys` (the keys of the job's subgraphs).
+  /// Lets candidate enumeration touch only same-table-set annotations
+  /// instead of scanning the full catalog. Lock-free snapshot scan, like
+  /// GetRelevantViews.
+  std::vector<ViewAnnotation> GetContainmentCandidates(
+      const std::vector<Hash128>& table_set_keys) const EXCLUDES(analysis_mu_);
+
   // --- ViewCatalogInterface (optimizer-facing) -----------------------------
 
   std::optional<MaterializedViewInfo> FindMaterialized(
@@ -123,6 +131,11 @@ class MetadataService : public ViewCatalogInterface {
   bool ProposeMaterialize(const Hash128& normalized, const Hash128& precise,
                           uint64_t job_id,
                           double expected_build_seconds) override;
+
+  /// Containment tier 2.5: the live materialized instances of one template,
+  /// sorted by precise signature (the matcher's determinism contract).
+  std::vector<MaterializedViewInfo> FindSubsumableInstances(
+      const Hash128& normalized) override EXCLUDES(subsume_mu_);
 
   // --- Job-manager-facing ---------------------------------------------------
 
@@ -206,6 +219,12 @@ class MetadataService : public ViewCatalogInterface {
     // read through a shared_ptr<const AnalysisSnapshot>, never mutated
     // under a service-wide mutex.
     std::unordered_map<std::string, std::set<size_t>> tag_index;
+    // shard-stripe: immutable after construction, read lock-free through
+    // the snapshot pointer like tag_index. Maps a feature table-set key to
+    // the computations over exactly that table set, so containment
+    // candidate enumeration never scans the full catalog.
+    std::unordered_map<Hash128, std::vector<size_t>, Hash128Hasher>
+        table_set_index;
   };
 
   /// One signature-keyed stripe of the view/lock state. A precise
@@ -273,6 +292,11 @@ class MetadataService : public ViewCatalogInterface {
     return shards_[ShardIndex(precise)];
   }
 
+  /// Counter-free liveness check for one registered instance. Containment
+  /// probes use this instead of FindMaterialized so they do not skew the
+  /// exact-lookup hit/miss counters.
+  std::optional<MaterializedViewInfo> LookupLive(const Hash128& precise);
+
   /// Catalog changed in a way a cached plan could observe; invalidate.
   void BumpEpoch() { catalog_epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
@@ -299,6 +323,17 @@ class MetadataService : public ViewCatalogInterface {
   /// immutable and read lock-free (see AnalysisSnapshot).
   mutable Mutex analysis_mu_;
   std::shared_ptr<const AnalysisSnapshot> analysis_ GUARDED_BY(analysis_mu_);
+
+  /// Secondary index for containment matching: which precise instances of
+  /// each computation template are registered. Off the FindMaterialized
+  /// hot path (only the containment tiers read it), so a single mutex
+  /// suffices; entries are validated against the shards before use.
+  mutable Mutex subsume_mu_;
+  // shard-stripe: intentionally NOT striped — this normalized-keyed index
+  // is only touched by registration/purge/drop and the (rare) containment
+  // tier 2.5 probe, never by the signature-sharded lookup hot path.
+  std::unordered_map<Hash128, std::set<Hash128>, Hash128Hasher>
+      instances_by_normalized_ GUARDED_BY(subsume_mu_);
 
   /// Starts at 1 so 0 can mean "no epoch observed" in callers.
   std::atomic<uint64_t> catalog_epoch_{1};

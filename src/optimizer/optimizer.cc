@@ -102,7 +102,11 @@ Result<OptimizedPlan> Optimizer::PlanPhysical(PlanNodePtr root,
   ViewRewriter::ReuseStats reuse_stats;
   {
     obs::Span span = parent->StartChild("reuse");
-    root = rewriter.ApplyReuse(std::move(root), annotations, &reuse_stats);
+    ViewRewriter::ReuseOptions reuse_options;
+    reuse_options.enable_containment = config_.enable_containment_matching;
+    reuse_options.parent_span = &span;
+    root = rewriter.ApplyReuse(std::move(root), annotations, &reuse_stats,
+                               reuse_options);
     CV_RETURN_NOT_OK(root->Bind());
     if (reuse_stats.views_reused > 0) {
       // A substituted view may not deliver the properties its parent
@@ -117,6 +121,13 @@ Result<OptimizedPlan> Optimizer::PlanPhysical(PlanNodePtr root,
                       static_cast<int64_t>(reuse_stats.views_reused));
     span.SetAttribute("rejected_by_cost",
                       static_cast<int64_t>(reuse_stats.rejected_by_cost));
+    // Only stamp funnel attributes when the containment tiers actually
+    // ran, so exact-only compiles keep a byte-identical span tree.
+    if (reuse_stats.funnel.candidates_filtered > 0) {
+      span.SetAttribute(
+          "views_reused_subsumed",
+          static_cast<int64_t>(reuse_stats.funnel.views_reused_subsumed));
+    }
   }
 
   // 5. Follow-up optimization: propose online materializations (Fig 10,
@@ -159,6 +170,11 @@ Result<OptimizedPlan> Optimizer::PlanPhysical(PlanNodePtr root,
   out.estimated_cost = out.root->estimates().cost;
   out.views_reused = reuse_stats.views_reused;
   out.reuse_rejected_by_cost = reuse_stats.rejected_by_cost;
+  out.candidates_filtered = reuse_stats.funnel.candidates_filtered;
+  out.containment_verified = reuse_stats.funnel.containment_verified;
+  out.containment_rejected = reuse_stats.funnel.containment_rejected;
+  out.views_reused_subsumed = reuse_stats.funnel.views_reused_subsumed;
+  out.compensation_nodes_added = reuse_stats.funnel.compensation_nodes_added;
   out.views_materialized = mat_stats.views_materialized;
   out.materialize_lock_denied = mat_stats.lock_denied;
   out.materialize_skipped_by_cost = mat_stats.skipped_by_cost;

@@ -29,6 +29,9 @@ struct OptimizerConfig {
   /// fraction of the job's own cost (0 disables the gate). Keeps cheap
   /// jobs from paying for expensive views; a larger job builds them.
   double max_materialize_cost_fraction = 1.0;
+  /// Containment matching (tiers 1-3 of the staged CandidateMatcher) on
+  /// exact-probe misses — ablation knob; false restores exact-only reuse.
+  bool enable_containment_matching = true;
 };
 
 /// Everything the optimizer consults for one compilation.
@@ -62,6 +65,13 @@ struct OptimizedPlan {
   int reuse_rejected_by_cost = 0;
   int materialize_lock_denied = 0;
   int materialize_skipped_by_cost = 0;
+  /// Containment-match funnel (see MatchFunnel); all zeros for exact-only
+  /// compiles and for plans served from the plan cache.
+  int candidates_filtered = 0;
+  int containment_verified = 0;
+  int containment_rejected = 0;
+  int views_reused_subsumed = 0;
+  int compensation_nodes_added = 0;
   /// Wall time spent optimizing (reported in the overheads study, Sec 7.3).
   double optimize_seconds = 0;
 };

@@ -1,6 +1,7 @@
 #ifndef CLOUDVIEWS_OPTIMIZER_VIEW_INTERFACES_H_
 #define CLOUDVIEWS_OPTIMIZER_VIEW_INTERFACES_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -8,6 +9,8 @@
 #include "common/clock.h"
 #include "common/hash.h"
 #include "plan/physical_properties.h"
+#include "plan/plan_node.h"
+#include "signature/containment.h"
 
 namespace cloudviews {
 
@@ -33,6 +36,16 @@ struct ViewAnnotation {
   /// Offline mode: materialize in a standalone pre-job instead of inline
   /// (Sec 6.2, "offline view materialization mode").
   bool offline = false;
+
+  /// Containment matching (tiers 1-2 of the CandidateMatcher): compact
+  /// feature vector for cheap candidate filtering, and the definition
+  /// skeleton (a bound clone of the first mined occurrence) that tier 2
+  /// verifies containment against structurally. Both are shared read-only
+  /// after the analyzer publishes them; null/empty when the analyzer did
+  /// not (or could not) compute them, which simply disables containment
+  /// matching for this annotation.
+  std::shared_ptr<const ViewFeatures> features;
+  PlanNodePtr definition;
 };
 
 /// A view instance that is already materialized and available.
@@ -44,6 +57,11 @@ struct MaterializedViewInfo {
   PhysicalProperties design;
   double rows = 0;
   double bytes = 0;
+  /// Instance-level features computed from the producer's spool subtree at
+  /// registration: concrete predicate bounds, opaque conjunct hashes, and
+  /// the core precise signature. Null for instances registered before
+  /// containment matching existed (they then only serve exact matches).
+  std::shared_ptr<const ViewFeatures> reuse_features;
 };
 
 /// \brief The slice of the metadata service the optimizer interacts with
@@ -70,6 +88,16 @@ class ViewCatalogInterface {
   virtual void AbandonLock(const Hash128& precise, uint64_t job_id) {
     (void)precise;
     (void)job_id;
+  }
+
+  /// Containment tier 2.5: lists the live materialized instances of one
+  /// computation template, in a deterministic order, so the matcher can
+  /// check per-instance predicate containment. Default: none (catalogs
+  /// without instance tracking only serve exact matches).
+  virtual std::vector<MaterializedViewInfo> FindSubsumableInstances(
+      const Hash128& normalized) {
+    (void)normalized;
+    return {};
   }
 };
 

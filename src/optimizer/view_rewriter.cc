@@ -1,6 +1,7 @@
 #include "optimizer/view_rewriter.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "signature/signature.h"
 #include "storage/storage_manager.h"
@@ -17,14 +18,28 @@ AnnotationIndex IndexAnnotations(const std::vector<ViewAnnotation>& anns) {
 
 PlanNodePtr ViewRewriter::ApplyReuse(PlanNodePtr root,
                                      const AnnotationIndex& annotations,
-                                     ReuseStats* stats) {
+                                     ReuseStats* stats,
+                                     const ReuseOptions& options) {
   if (annotations.empty() || catalog_ == nullptr) return root;
-  return ReuseInternal(std::move(root), annotations, stats);
+  std::unique_ptr<CandidateMatcher> matcher;
+  if (options.enable_containment) {
+    matcher = std::make_unique<CandidateMatcher>(
+        annotations, catalog_, cost_model_, options.parent_span);
+    if (!matcher->has_candidates()) matcher.reset();
+  }
+  std::vector<const PlanNode*> ancestors;
+  root = ReuseInternal(std::move(root), annotations, stats, matcher.get(),
+                       &ancestors);
+  if (matcher != nullptr) {
+    matcher->FinishSpan();
+    matcher->funnel().AddTo(&stats->funnel);
+  }
+  return root;
 }
 
-PlanNodePtr ViewRewriter::ReuseInternal(PlanNodePtr node,
-                                        const AnnotationIndex& annotations,
-                                        ReuseStats* stats) {
+PlanNodePtr ViewRewriter::ReuseInternal(
+    PlanNodePtr node, const AnnotationIndex& annotations, ReuseStats* stats,
+    CandidateMatcher* matcher, std::vector<const PlanNode*>* ancestors) {
   // Top-down: try the largest subgraph first (Sec 6.3).
   if (IsReusableRoot(*node) && node->kind() != OpKind::kOutput) {
     Hash128 normalized = node->SubtreeHash(SignatureMode::kNormalized);
@@ -42,6 +57,8 @@ PlanNodePtr ViewRewriter::ReuseInternal(PlanNodePtr node,
             std::max(1, cost_model_->config().default_dop);
         double compute_cost = node->estimates().cost;
         if (read_cost < compute_cost) {
+          // compensation: none — exact tier-0 match; the view read alone
+          // reproduces the subtree byte-for-byte.
           auto replacement = std::make_shared<ViewReadNode>(
               view->path, normalized, precise, node->output_schema(),
               view->design, view->rows, view->bytes);
@@ -55,10 +72,21 @@ PlanNodePtr ViewRewriter::ReuseInternal(PlanNodePtr node,
         }
       }
     }
+    // Tier 0 missed: try the staged containment matcher (tiers 1-3).
+    if (matcher != nullptr) {
+      PlanNodePtr compensated = matcher->TryContainment(
+          node, normalized, *ancestors, &stats->rejected_by_cost);
+      if (compensated != nullptr) {
+        ++stats->views_reused;
+        return compensated;
+      }
+    }
   }
+  ancestors->push_back(node.get());
   for (auto& c : node->mutable_children()) {
-    c = ReuseInternal(c, annotations, stats);
+    c = ReuseInternal(c, annotations, stats, matcher, ancestors);
   }
+  ancestors->pop_back();
   return node;
 }
 
@@ -125,6 +153,8 @@ PlanNodePtr ViewRewriter::MaterializeInternal(
     return node;
   }
   std::string path = EncodeViewPath(normalized, precise, job_id);
+  // compensation: none — Spool is a materialization side-effect wrapper,
+  // not a compensation operator; it passes its input through unchanged.
   auto spool = std::make_shared<SpoolNode>(node, path, normalized, precise,
                                            ann.design);
   spool->set_lifetime_seconds(ann.lifetime_seconds);

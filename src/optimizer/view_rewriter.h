@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/trace.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/view_interfaces.h"
+#include "optimizer/view_matcher.h"
 #include "plan/plan_node.h"
 
 namespace cloudviews {
@@ -31,16 +33,37 @@ class ViewRewriter {
       : cost_model_(cost_model), catalog_(catalog) {}
 
   struct ReuseStats {
+    /// All reuses applied: exact (tier 0) plus subsumed (containment).
     int views_reused = 0;
-    /// Matches rejected by the cost model (view read too expensive).
+    /// Matches rejected by the cost model (view read too expensive), from
+    /// either tier.
     int rejected_by_cost = 0;
+    /// Containment-match funnel (tiers 1-3); all zeros when only the exact
+    /// tier ran.
+    MatchFunnel funnel;
   };
 
-  /// Replaces matching, already-materialized subgraphs with ViewRead scans.
+  struct ReuseOptions {
+    /// When false only the exact tier-0 hash probe runs (the pre-staged
+    /// behavior).
+    bool enable_containment = true;
+    /// Hosts the lazily-created containment_verify span; may be null.
+    obs::Span* parent_span = nullptr;
+  };
+
+  /// Replaces matching, already-materialized subgraphs with ViewRead scans:
+  /// tier 0 is the exact normalized+precise hash probe; on a miss the
+  /// staged CandidateMatcher tries containment with a compensation plan.
   /// The plan must be bound with estimates annotated. Returns the (possibly
   /// new) root; the caller re-binds and repairs physical properties.
   PlanNodePtr ApplyReuse(PlanNodePtr root, const AnnotationIndex& annotations,
-                         ReuseStats* stats);
+                         ReuseStats* stats, const ReuseOptions& options);
+  /// Default-options overload (an in-class `= ReuseOptions{}` default would
+  /// need the nested type complete at the declaration).
+  PlanNodePtr ApplyReuse(PlanNodePtr root, const AnnotationIndex& annotations,
+                         ReuseStats* stats) {
+    return ApplyReuse(std::move(root), annotations, stats, ReuseOptions{});
+  }
 
   struct MaterializeStats {
     int views_materialized = 0;
@@ -68,7 +91,8 @@ class ViewRewriter {
  private:
   PlanNodePtr ReuseInternal(PlanNodePtr node,
                             const AnnotationIndex& annotations,
-                            ReuseStats* stats);
+                            ReuseStats* stats, CandidateMatcher* matcher,
+                            std::vector<const PlanNode*>* ancestors);
   PlanNodePtr MaterializeInternal(PlanNodePtr node,
                                   const AnnotationIndex& annotations,
                                   uint64_t job_id, int max_per_job,

@@ -1,5 +1,6 @@
 #include "runtime/job_service.h"
 
+#include <set>
 #include <thread>
 
 #include "fault/fault_injector.h"
@@ -57,6 +58,26 @@ void JobService::SetObservability(obs::MetricsRegistry* metrics,
   obs_.reuse_rejected = metrics->GetCounter(
       "cv_rewrite_reuse_rejected_by_cost_total", {},
       "Reuse opportunities rejected by the cost model (Sec 6.3)");
+  obs_.candidates_filtered = metrics->GetCounter(
+      "cv_containment_candidates_filtered_total", {},
+      "Containment candidates that passed the tier-1 feature filter and "
+      "entered structural verification");
+  obs_.containment_verified = metrics->GetCounter(
+      "cv_containment_verified_total", {},
+      "Containment candidates proven (structure + a live instance whose "
+      "predicate contains the query's)");
+  obs_.containment_rejected = metrics->GetCounter(
+      "cv_containment_rejected_total", {},
+      "Tier-1 containment survivors rejected during verification (structure "
+      "mismatch, no live instance, predicate, cost, or unsafe compensation)");
+  obs_.views_subsumed = metrics->GetCounter(
+      "cv_rewrite_views_reused_subsumed_total", {},
+      "Subgraphs served from a subsuming view through a compensation plan "
+      "(subset of cv_rewrite_views_reused_total)");
+  obs_.compensation_nodes = metrics->GetCounter(
+      "cv_containment_compensation_nodes_total", {},
+      "Filter/Aggregate/Project compensation operators added around "
+      "subsumed view reads");
   obs_.lock_denied = metrics->GetCounter(
       "cv_rewrite_materialize_lock_denied_total", {},
       "Materializations skipped because another job holds the build lock");
@@ -132,6 +153,13 @@ void JobService::RegisterMaterializedView(const SpoolNode& spool,
   info.design = spool.design();
   info.rows = static_cast<double>(view.total_rows);
   info.bytes = static_cast<double>(view.total_bytes);
+  // Instance-level containment features from the spooled subtree: concrete
+  // predicate bounds, conjunct hashes, and the core precise signature the
+  // matcher resolves per-instance containment against.
+  if (!spool.children().empty() && spool.children()[0] != nullptr) {
+    info.reuse_features = std::make_shared<ViewFeatures>(
+        ComputeViewFeatures(*spool.children()[0]));
+  }
   Status registered = metadata_->ReportMaterialized(info, view.expires_at);
   if (!registered.ok()) {
     // Fenced out (our lease expired) or another producer won: the
@@ -260,6 +288,19 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
       if (obs_.lookup_degraded != nullptr) obs_.lookup_degraded->Increment();
       span.SetAttribute("degraded", true);
       span.SetAttribute("error", lookup.ToString());
+    } else if (optimizer_.config().enable_containment_matching) {
+      // Containment tier 1 pre-fetch: annotations over the same table sets
+      // as this job's subgraphs, keyed by the table-set index so candidate
+      // enumeration never scans the full catalog. Tag-matched annotations
+      // already fetched above are not duplicated.
+      std::set<Hash128> have;
+      for (const auto& a : ctx.annotations) have.insert(a.normalized_signature);
+      for (auto& extra : metadata_->GetContainmentCandidates(
+               CollectTableSetKeys(def.logical_plan))) {
+        if (have.insert(extra.normalized_signature).second) {
+          ctx.annotations.push_back(std::move(extra));
+        }
+      }
     }
     span.SetAttribute("annotations",
                       static_cast<uint64_t>(ctx.annotations.size()));
@@ -330,12 +371,27 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
         static_cast<uint64_t>(optimized.materialize_lock_denied));
     obs_.mat_skipped->Increment(
         static_cast<uint64_t>(optimized.materialize_skipped_by_cost));
+    obs_.candidates_filtered->Increment(
+        static_cast<uint64_t>(optimized.candidates_filtered));
+    obs_.containment_verified->Increment(
+        static_cast<uint64_t>(optimized.containment_verified));
+    obs_.containment_rejected->Increment(
+        static_cast<uint64_t>(optimized.containment_rejected));
+    obs_.views_subsumed->Increment(
+        static_cast<uint64_t>(optimized.views_reused_subsumed));
+    obs_.compensation_nodes->Increment(
+        static_cast<uint64_t>(optimized.compensation_nodes_added));
   }
   result.compile_seconds = optimized.optimize_seconds;
   result.views_reused = optimized.views_reused;
   result.views_materialized = optimized.views_materialized;
   result.reuse_rejected_by_cost = optimized.reuse_rejected_by_cost;
   result.materialize_lock_denied = optimized.materialize_lock_denied;
+  result.candidates_filtered = optimized.candidates_filtered;
+  result.containment_verified = optimized.containment_verified;
+  result.containment_rejected = optimized.containment_rejected;
+  result.views_reused_subsumed = optimized.views_reused_subsumed;
+  result.compensation_nodes_added = optimized.compensation_nodes_added;
   result.estimated_cost = optimized.estimated_cost;
 
   // --- Execute with early view publication (Sec 6.4) -----------------------
@@ -396,6 +452,9 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
     optimized = std::move(replanned).ValueOrDie();
     result.views_reused = 0;
     result.views_materialized = 0;
+    // The executed plan carries no compensated view reads either.
+    result.views_reused_subsumed = 0;
+    result.compensation_nodes_added = 0;
     result.estimated_cost = optimized.estimated_cost;
     Executor fallback_executor(exec_ctx);
     run = fallback_executor.Execute(optimized.root);

@@ -48,6 +48,15 @@ struct JobResult {
   int views_materialized = 0;
   int reuse_rejected_by_cost = 0;
   int materialize_lock_denied = 0;
+  /// Containment-match funnel (docs/job_profile_schema.md): all zeros for
+  /// exact-only compiles and for plans served from the plan cache (the
+  /// matching work done for a cached submission is zero).
+  int candidates_filtered = 0;
+  int containment_verified = 0;
+  int containment_rejected = 0;
+  /// Subset of views_reused served through containment + compensation.
+  int views_reused_subsumed = 0;
+  int compensation_nodes_added = 0;
   /// View reads abandoned mid-run: the rewritten plan's views were
   /// unavailable, so the job transparently re-ran its original plan
   /// (ReStore-style fallback). The job still succeeded; views_reused is
@@ -169,6 +178,11 @@ class JobService {
     obs::Counter* views_reused = nullptr;
     obs::Counter* views_materialized = nullptr;
     obs::Counter* reuse_rejected = nullptr;
+    obs::Counter* candidates_filtered = nullptr;
+    obs::Counter* containment_verified = nullptr;
+    obs::Counter* containment_rejected = nullptr;
+    obs::Counter* views_subsumed = nullptr;
+    obs::Counter* compensation_nodes = nullptr;
     obs::Counter* lock_denied = nullptr;
     obs::Counter* mat_skipped = nullptr;
     obs::Counter* views_fallback = nullptr;

@@ -1,0 +1,18 @@
+// Lint fixture: seeded compensation-comment violation. Linted as if it
+// were src/optimizer/view_matcher.cc (the rule's scope).
+
+PlanNodePtr BuildCompensation(const PlanNodePtr& view_read, ExprPtr residual,
+                              std::vector<NamedExpr> fields) {
+  // Violation: a plan node constructed in the compensation path with no
+  // justification comment.
+  auto filter = std::make_shared<FilterNode>(view_read, residual);
+
+  // compensation: final projection narrows the view output back to the
+  // replaced subtree's exact schema — no value or order change.
+  auto project = std::make_shared<ProjectNode>(filter, fields);
+
+  // Non-plan-node allocations are not this rule's concern.
+  auto features = std::make_shared<ViewFeatures>();
+  (void)features;
+  return project;
+}

@@ -187,6 +187,9 @@ std::vector<Violation> LintFile(const std::string& display_path,
   const bool in_backoff = PathContains(rel_path, "fault/backoff");
   const bool is_metadata_header =
       is_header && PathContains(rel_path, "src/metadata/");
+  const bool in_compensation_path =
+      PathContains(rel_path, "optimizer/view_matcher.") ||
+      PathContains(rel_path, "optimizer/view_rewriter.");
 
   static const std::vector<std::string> kRandomTokens = {
       "std::rand", "srand", "random_device", "time(nullptr)", "time(NULL)"};
@@ -330,6 +333,53 @@ std::vector<Violation> LintFile(const std::string& display_path,
                  "metadata hot path must stay sharded — stripe the map per "
                  "signature shard, or add a 'shard-stripe: <why>' comment "
                  "justifying the single lock"});
+          }
+        }
+      }
+    }
+    if (in_compensation_path) {
+      size_t cpos = text.find("make_shared<");
+      if (cpos != std::string::npos) {
+        // Join up to 2 following lines so a wrapped template argument
+        // (`make_shared<\n    ViewReadNode>`) is still seen.
+        std::string joined = text;
+        bool bc = in_block_comment;
+        for (size_t extra = 1;
+             extra <= 2 && idx + extra < raw_lines.size(); ++extra) {
+          joined += ' ';
+          joined += SanitizeLine(raw_lines[idx + extra], &bc);
+        }
+        size_t tpos = joined.find("make_shared<") + 12;
+        size_t tend = tpos;
+        while (tend < joined.size() &&
+               (IsIdentChar(joined[tend]) || joined[tend] == ':' ||
+                joined[tend] == ' ')) {
+          ++tend;
+        }
+        std::string type = joined.substr(tpos, tend - tpos);
+        while (!type.empty() && type.back() == ' ') type.pop_back();
+        if (type.size() >= 4 &&
+            type.compare(type.size() - 4, 4, "Node") == 0) {
+          // Every plan-node construction in the matcher / rewriter is a
+          // compensation (or exact-replacement) operator whose byte-
+          // identity argument must be written down: require a
+          // "compensation:" justification comment on this line or within
+          // the preceding 4 raw lines (raw: the justification is a
+          // comment).
+          bool justified = false;
+          size_t lo = idx >= 4 ? idx - 4 : 0;
+          for (size_t j = lo; j <= idx && !justified; ++j) {
+            if (raw_lines[j].find("compensation:") != std::string::npos) {
+              justified = true;
+            }
+          }
+          if (!justified) {
+            out.push_back(
+                {display_path, line_no, "compensation-comment",
+                 "plan-node construction ('" + type +
+                     "') in the view-matching compensation path without a "
+                     "nearby '// compensation: <why byte-identical>' "
+                     "justification comment"});
           }
         }
       }

@@ -35,6 +35,12 @@ struct Violation {
 ///                     nearby "shard-stripe" justification comment — the
 ///                     metadata hot path is sharded (Sec 7.3) and must not
 ///                     regrow a service-wide map behind a single mutex
+///  compensation-comment a PlanNode construction (make_shared<...Node>) in
+///                     src/optimizer/view_matcher.* or view_rewriter.* must
+///                     carry a nearby "// compensation: <why>" comment —
+///                     every operator added around a reused view changes
+///                     result bytes unless justified, so the byte-identity
+///                     argument must be written down at the construction
 ///  assert-side-effect assert() whose argument mutates state (vanishes
 ///                     under NDEBUG)
 ///  header-guard       include guards must be CLOUDVIEWS_<PATH>_H_

@@ -167,6 +167,53 @@ TEST(RepoLintTest, MetadataMapRuleHonorsReasonedNolint) {
   EXPECT_TRUE(LintFile("m.h", "src/metadata/m.h", content).empty());
 }
 
+TEST(RepoLintTest, CompensationCommentFires) {
+  // The fixture lives in lint_fixtures/ but is linted as if it were the
+  // view matcher, where the rule is scoped.
+  auto violations =
+      LintFile("bad_compensation.cc", "src/optimizer/view_matcher.cc",
+               ReadFixture("bad_compensation.cc"));
+  EXPECT_EQ(Rules(violations),
+            std::set<std::string>{"compensation-comment"});
+  // Only the unjustified FilterNode; the justified ProjectNode and the
+  // non-plan-node ViewFeatures allocation stay clean.
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 8);
+  EXPECT_NE(violations[0].message.find("FilterNode"), std::string::npos);
+}
+
+TEST(RepoLintTest, CompensationCommentScopedToMatcherAndRewriter) {
+  // The same construction elsewhere in the optimizer is not this rule's
+  // concern (only the compensation path must argue byte-identity).
+  EXPECT_TRUE(LintFile("rules.cc", "src/optimizer/rules.cc",
+                       "auto f = std::make_shared<FilterNode>(in, pred);\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("rw.cc", "src/optimizer/view_rewriter.cc",
+                       "auto f = std::make_shared<FilterNode>(in, pred);\n")
+                  .size() == 1u);
+}
+
+TEST(RepoLintTest, CompensationCommentSeesWrappedConstruction) {
+  // The template argument on the continuation line of a wrapped call (the
+  // shape clang-format produces) is still caught.
+  std::string content =
+      "auto agg = std::make_shared<\n"
+      "    AggregateNode>(input, keys, specs);\n";
+  auto violations =
+      LintFile("vm.cc", "src/optimizer/view_matcher.cc", content);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "compensation-comment");
+  EXPECT_EQ(violations[0].line, 1);
+}
+
+TEST(RepoLintTest, CompensationCommentHonorsReasonedNolint) {
+  std::string content =
+      "auto f = std::make_shared<FilterNode>(in, pred);"
+      "  // NOLINT(compensation-comment): fixture exemption\n";
+  EXPECT_TRUE(
+      LintFile("vm.cc", "src/optimizer/view_matcher.cc", content).empty());
+}
+
 TEST(RepoLintTest, AssertSideEffectFires) {
   auto violations = LintFixture("bad_assert.cc");
   EXPECT_EQ(Rules(violations),
