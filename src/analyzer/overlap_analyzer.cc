@@ -1,6 +1,8 @@
 #include "analyzer/overlap_analyzer.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "signature/signature.h"
 
@@ -117,7 +119,12 @@ OverlapReport OverlapAnalyzer::BuildReport() const {
       }
     }
   }
-  for (const auto& [input, freq] : input_max_freq) {
+  // Emit per-input samples ordered by template name: the CDF vector must
+  // be byte-stable across runs, and hash-map iteration order is not.
+  std::vector<std::pair<std::string, double>> by_input(
+      input_max_freq.begin(), input_max_freq.end());
+  std::sort(by_input.begin(), by_input.end());
+  for (const auto& [input, freq] : by_input) {
     report.per_input_max_frequency.push_back(freq);
   }
   for (const auto& [sig, agg] : aggregates_) {

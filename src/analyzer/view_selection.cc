@@ -27,6 +27,9 @@ std::vector<const SubgraphAggregate*> ViewSelector::Filter(
     const std::unordered_map<Hash128, SubgraphAggregate, Hash128Hasher>&
         aggregates) const {
   std::vector<const SubgraphAggregate*> out;
+  // order-insensitive: every selection policy re-sorts the candidates
+  // with a deterministic tie-break (utility/density, then normalized
+  // signature) before any result is taken from the vector.
   for (const auto& [sig, agg] : aggregates) {
     if (agg.frequency < config_.min_frequency) continue;
     if (agg.AvgLatency() < config_.min_runtime_seconds) continue;

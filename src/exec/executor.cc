@@ -166,6 +166,8 @@ Result<JobRunStats> Executor::Execute(const PlanNodePtr& root) {
   // run-once latch so its cpu_seconds is attributed exactly once.
   std::unordered_map<const PlanNode*, int> edge_counts;
   CountParentEdges(root.get(), &edge_counts);
+  // order-insensitive: only populates the keyed shared-node map; nothing
+  // downstream observes the visitation order.
   for (const auto& [node, count] : edge_counts) {
     if (count > 1) {
       state.shared_nodes.emplace(node,

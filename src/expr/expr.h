@@ -82,7 +82,10 @@ class Expr {
 
   ExprKind kind_;
   std::vector<ExprPtr> children_;
+  // sig-skip(hash): binding state derived from the input schema at Bind
+  // time; the signature identifies the unbound computation
   DataType output_type_ = DataType::kInt64;
+  // sig-skip(hash): binding progress flag, derived, never identity
   bool bound_ = false;
 };
 
@@ -104,6 +107,8 @@ class ColumnRefExpr : public Expr {
 
  private:
   std::string name_;
+  // sig-skip(hash, clone): resolved from name_ against the input schema at
+  // Bind time; Clone returns an unbound expr the serve paths re-Bind
   int index_ = -1;
 };
 

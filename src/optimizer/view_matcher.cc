@@ -115,6 +115,8 @@ CandidateMatcher::CandidateMatcher(
     ViewCatalogInterface* catalog, const CostModel* cost_model,
     obs::Span* parent_span)
     : catalog_(catalog), cost_model_(cost_model), parent_span_(parent_span) {
+  // order-insensitive: this pass only buckets candidates by table-set
+  // key; each bucket is sorted just below, before any iteration.
   for (const auto& [sig, ann] : annotations) {
     if (!ann.features || !ann.definition || !ann.definition->bound()) {
       continue;

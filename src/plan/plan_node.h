@@ -133,9 +133,14 @@ class PlanNode {
 
   OpKind kind_;
   std::vector<PlanNodePtr> children_;
+  // sig-skip(hash): derived by DeriveSchema() from the children during
+  // Bind; never part of the computation's identity
   Schema output_schema_;
+  // sig-skip(hash): binding progress flag, derived, never identity
   bool bound_ = false;
+  // sig-skip(hash): pre-order id assigned after planning, presentation only
   int id_ = -1;
+  // sig-skip(hash): cardinality/cost annotations derived from the plan
   NodeEstimates est_;
 };
 
@@ -187,9 +192,12 @@ class ExtractNode : public PlanNode {
   void HashLocal(HashBuilder* hb, SignatureMode mode) const override;
 
  private:
+  // sig-skip(rebind): the template identity must survive rebinding; only
+  // the per-instance stream name and GUID are settable (see RebindInstance)
   std::string template_name_;
   std::string stream_name_;
   std::string guid_;
+  // sig-skip(rebind): schema is template identity, fixed across instances
   Schema declared_schema_;
 };
 
@@ -487,10 +495,16 @@ class SpoolNode : public PlanNode {
   void HashLocal(HashBuilder* hb, SignatureMode mode) const override;
 
  private:
+  // sig-skip(hash): a spool is computation-transparent — SubtreeHash
+  // forwards to the child; the storage path is materialization metadata
   std::string view_path_;
+  // sig-skip(hash): derived from the child subtree's own signature
   Hash128 normalized_signature_;
+  // sig-skip(hash): derived from the child subtree's own signature
   Hash128 precise_signature_;
+  // sig-skip(hash): physical design choice, not logical identity
   PhysicalProperties design_;
+  // sig-skip(hash): retention policy metadata, not logical identity
   LogicalTime lifetime_seconds_ = 0;
 };
 

@@ -1,0 +1,40 @@
+// Fixture: iterating an unordered_map while building a signature — hash
+// order would reach the result. One loop is justified order-insensitive
+// (a commutative sum) and must pass; the other two must be flagged.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using AnnotationIndex = std::unordered_map<uint64_t, std::string>;
+
+uint64_t BadSignature(const std::unordered_map<std::string, int>& parts) {
+  uint64_t h = 0;
+  for (const auto& [name, weight] : parts) {  // flagged: order-dependent
+    h = h * 31 + static_cast<uint64_t>(weight) +
+        static_cast<uint64_t>(name.size());
+  }
+  return h;
+}
+
+uint64_t BadAliasWalk(const AnnotationIndex& index) {
+  uint64_t h = 0;
+  for (const auto& [sig, text] : index) {  // flagged: alias of unordered_map
+    h = h * 31 + sig + static_cast<uint64_t>(text.size());
+  }
+  return h;
+}
+
+int JustifiedSum(const std::unordered_set<int>& values) {
+  int total = 0;
+  // order-insensitive: integer addition is commutative, the iteration
+  // order cannot reach the result
+  for (int v : values) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// Invariant analyzer entry point: field-coverage audit over every
+// identity-bearing class plus the unordered-iteration determinism lint.
+//
+//   invariant_analyzer [--json <report>] <root>...
+//
+// Defaults to analyzing src/. Exits nonzero when any violation is found;
+// --json writes the machine-readable report the CI job uploads.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/invariant_analyzer_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots = {"src"};
+
+  std::vector<cloudviews::lint::Violation> violations =
+      cloudviews::lint::AnalyzeTree(roots);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << cloudviews::lint::ViolationsToJson(violations);
+    if (!out) {
+      std::fprintf(stderr, "invariant_analyzer: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+  }
+
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.path.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "invariant_analyzer: %zu violation(s)\n",
+                 violations.size());
+    return 1;
+  }
+  std::printf("invariant_analyzer: clean\n");
+  return 0;
+}

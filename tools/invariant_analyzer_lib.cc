@@ -1,0 +1,1102 @@
+#include "tools/invariant_analyzer_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "tools/token.h"
+
+namespace cloudviews {
+namespace lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Invariant groups
+// ---------------------------------------------------------------------------
+
+struct GroupDef {
+  const char* name;
+  std::vector<const char*> functions;
+};
+
+const std::vector<GroupDef>& Groups() {
+  static const std::vector<GroupDef> kGroups = {
+      {"hash",
+       {"Hash", "HashInto", "HashLocal", "SubtreeHash", "Fingerprint",
+        "Normalize"}},
+      {"equals", {"operator==", "Equals"}},
+      {"clone", {"Clone"}},
+      {"rebind", {"RebindInstance"}},
+      {"serialize", {"Serialize", "SerializeTo", "ToJson"}},
+  };
+  return kGroups;
+}
+
+const GroupDef* FindGroup(const std::string& name) {
+  for (const auto& g : Groups()) {
+    if (name == g.name) return &g;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+bool IsIdentTok(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+bool IsAccessSpecifier(const std::string& s) {
+  return s == "public" || s == "private" || s == "protected";
+}
+
+/// An ALL_CAPS identifier followed by parens is treated as an attribute
+/// macro (GUARDED_BY, REQUIRES, CLOUDVIEWS_*), transparent to declaration
+/// parsing.
+bool IsAttrMacroName(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_alpha = false;
+  for (char c : s) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') has_alpha = true;
+    if (!(c == '_' || (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z'))) {
+      return false;
+    }
+  }
+  return has_alpha;
+}
+
+int CloseAngleCount(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return 0;
+  if (t.text == ">") return 1;
+  if (t.text == ">>") return 2;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration parser
+// ---------------------------------------------------------------------------
+
+/// An out-of-line definition ("Hash128 PlanNode::SubtreeHash(...) {...}")
+/// waiting to be attached to its class once every file has been parsed.
+struct PendingFunction {
+  std::string qualifier;  // "PlanNode" or "PlanCache::Key"
+  Function fn;
+};
+
+class DeclParser {
+ public:
+  DeclParser(std::vector<Token> toks, std::string file,
+             std::map<std::string, ClassInfo>* classes,
+             std::vector<PendingFunction>* pending)
+      : t_(std::move(toks)),
+        file_(std::move(file)),
+        classes_(classes),
+        pending_(pending) {}
+
+  void Parse() {
+    i_ = 0;
+    ParseRegion(t_.size(), "", nullptr);
+  }
+
+ private:
+  /// Index of the matching '}' for the '{' at `open`, or `end`.
+  size_t MatchBrace(size_t open, size_t end) const {
+    int depth = 0;
+    for (size_t j = open; j < end; ++j) {
+      if (t_[j].kind != TokenKind::kPunct) continue;
+      if (t_[j].text == "{") ++depth;
+      if (t_[j].text == "}") {
+        --depth;
+        if (depth == 0) return j;
+      }
+    }
+    return end;
+  }
+
+  ClassInfo* GetClass(const std::string& qualified) {
+    ClassInfo& info = (*classes_)[qualified];
+    if (info.name.empty()) info.name = qualified;
+    return &info;
+  }
+
+  /// Walks `head` (indices into t_) tracking angle/bracket depth and
+  /// skipping attribute-macro argument lists; returns the index *into
+  /// head* of the first top-level '(' (a function parameter list), or
+  /// npos.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t TopLevelParen(const std::vector<size_t>& head) const {
+    int angle = 0;
+    int bracket = 0;
+    for (size_t h = 0; h < head.size(); ++h) {
+      const Token& tok = t_[head[h]];
+      if (angle == 0 && bracket == 0 && IsIdentTok(tok) &&
+          IsAttrMacroName(tok.text) && h + 1 < head.size() &&
+          t_[head[h + 1]].IsPunct("(")) {
+        // Skip the macro's balanced parens.
+        int depth = 0;
+        size_t j = h + 1;
+        for (; j < head.size(); ++j) {
+          if (t_[head[j]].IsPunct("(")) ++depth;
+          if (t_[head[j]].IsPunct(")")) {
+            --depth;
+            if (depth == 0) break;
+          }
+        }
+        h = j;
+        continue;
+      }
+      if (tok.kind == TokenKind::kPunct) {
+        if (tok.text == "[") ++bracket;
+        if (tok.text == "]" && bracket > 0) --bracket;
+        if (angle > 0) {
+          angle -= std::min(angle, CloseAngleCount(tok));
+        }
+        if (tok.text == "(" && angle == 0 && bracket == 0) return h;
+      }
+      // Angle opening needs the token before it; reconstruct locally.
+      if (tok.kind == TokenKind::kPunct && tok.text == "<" && h > 0) {
+        const Token& prev = t_[head[h - 1]];
+        if (IsIdentTok(prev) && prev.text != "operator") ++angle;
+      }
+    }
+    return kNpos;
+  }
+
+  bool HeadHasIdent(const std::vector<size_t>& head, const char* word,
+                    size_t* where = nullptr) const {
+    for (size_t h = 0; h < head.size(); ++h) {
+      if (t_[head[h]].IsIdent(word)) {
+        if (where != nullptr) *where = h;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Last top-level (angle-depth 0) `class`/`struct`/`union` keyword in
+  /// head that is not `enum class`; npos if none.
+  size_t ClassKeyword(const std::vector<size_t>& head) const {
+    int angle = 0;
+    size_t found = kNpos;
+    for (size_t h = 0; h < head.size(); ++h) {
+      const Token& tok = t_[head[h]];
+      if (tok.kind == TokenKind::kPunct) {
+        if (tok.text == "<" && h > 0 && IsIdentTok(t_[head[h - 1]]) &&
+            t_[head[h - 1]].text != "operator") {
+          ++angle;
+        } else if (angle > 0) {
+          angle -= std::min(angle, CloseAngleCount(tok));
+        }
+        continue;
+      }
+      if (angle != 0 || !IsIdentTok(tok)) continue;
+      if (tok.text == "class" || tok.text == "struct" ||
+          tok.text == "union") {
+        bool after_enum = h > 0 && t_[head[h - 1]].IsIdent("enum");
+        if (!after_enum) found = h;
+      }
+    }
+    return found;
+  }
+
+  /// Function name from the tokens before the top-level '('.
+  std::string FunctionName(const std::vector<size_t>& head,
+                           size_t paren) const {
+    if (paren == 0) return "";
+    const Token& before = t_[head[paren - 1]];
+    if (before.kind == TokenKind::kPunct) {
+      if (paren >= 2 && t_[head[paren - 2]].IsIdent("operator")) {
+        return "operator" + before.text;
+      }
+      return "";
+    }
+    if (before.text == "operator") return "operator()";
+    if (paren >= 2 && t_[head[paren - 2]].IsPunct("~")) {
+      return "~" + before.text;
+    }
+    if (paren >= 2 && t_[head[paren - 2]].IsIdent("operator")) {
+      return "operator " + before.text;  // conversion operator
+    }
+    return before.text;
+  }
+
+  /// For an out-of-line definition, the `A::B` qualifier chain directly
+  /// before the function name; empty for a free function.
+  std::string Qualifier(const std::vector<size_t>& head,
+                        size_t paren) const {
+    // head[paren-1] is the name (or the punct of operator@, in which case
+    // the qualifier sits before `operator`).
+    size_t name_at = paren - 1;
+    if (t_[head[name_at]].kind == TokenKind::kPunct && name_at > 0 &&
+        t_[head[name_at - 1]].IsIdent("operator")) {
+      name_at -= 1;
+    } else if (name_at > 0 && t_[head[name_at - 1]].IsIdent("operator")) {
+      name_at -= 1;  // conversion operator: name is "operator <type>"
+    }
+    std::vector<std::string> parts;
+    size_t h = name_at;
+    while (h >= 2 && t_[head[h - 1]].IsPunct("::") &&
+           IsIdentTok(t_[head[h - 2]])) {
+      parts.push_back(t_[head[h - 2]].text);
+      h -= 2;
+    }
+    std::string out;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      if (!out.empty()) out += "::";
+      out += *it;
+    }
+    return out;
+  }
+
+  /// Collects every identifier in head[from_h..] plus every identifier in
+  /// the token range (body_open, body_close) — the function's parameters,
+  /// constructor-initializer list, and body.
+  std::vector<std::string> BodyIdents(const std::vector<size_t>& head,
+                                      size_t from_h, size_t body_open,
+                                      size_t body_close) const {
+    std::set<std::string> seen;
+    for (size_t h = from_h; h < head.size(); ++h) {
+      if (IsIdentTok(t_[head[h]])) seen.insert(t_[head[h]].text);
+    }
+    for (size_t j = body_open + 1; j < body_close && j < t_.size(); ++j) {
+      if (IsIdentTok(t_[j])) seen.insert(t_[j].text);
+    }
+    return std::vector<std::string>(seen.begin(), seen.end());
+  }
+
+  /// Member names declared by a head that ended in ';' (or in a brace
+  /// initializer when `trailing_open_brace`): identifiers at top level
+  /// whose next token is one of `, = [` or the end of the declarator.
+  std::vector<std::pair<std::string, int>> MemberNames(
+      const std::vector<size_t>& head, bool trailing_open_brace) const {
+    std::vector<std::pair<std::string, int>> out;
+    int angle = 0;
+    int paren = 0;
+    int bracket = 0;
+    bool in_init = false;  // skipping "= ..." until top-level ','
+    for (size_t h = 0; h < head.size(); ++h) {
+      const Token& tok = t_[head[h]];
+      if (tok.kind == TokenKind::kPunct) {
+        if (tok.text == "<" && h > 0 && IsIdentTok(t_[head[h - 1]]) &&
+            t_[head[h - 1]].text != "operator") {
+          ++angle;
+        } else if (angle > 0) {
+          angle -= std::min(angle, CloseAngleCount(tok));
+        }
+        if (tok.text == "(") ++paren;
+        if (tok.text == ")" && paren > 0) --paren;
+        if (tok.text == "[") ++bracket;
+        if (tok.text == "]" && bracket > 0) --bracket;
+        if (in_init && tok.text == "," && angle == 0 && paren == 0 &&
+            bracket == 0) {
+          in_init = false;
+        }
+        continue;
+      }
+      if (in_init || angle != 0 || paren != 0 || bracket != 0) continue;
+      if (!IsIdentTok(tok)) continue;
+      if (IsAttrMacroName(tok.text)) continue;
+      // Find the next token at this level.
+      const Token* next = h + 1 < head.size() ? &t_[head[h + 1]] : nullptr;
+      bool terminator = false;
+      if (next == nullptr) {
+        terminator = true;  // end of declarator ("int x;" / "int x{0}")
+      } else if (next->kind == TokenKind::kPunct) {
+        if (next->text == "," || next->text == "=" || next->text == "[") {
+          terminator = true;
+        }
+      } else if (IsIdentTok(*next) && IsAttrMacroName(next->text)) {
+        terminator = true;  // "Type name_ GUARDED_BY(mu_);"
+      }
+      if (terminator) {
+        out.emplace_back(tok.text, tok.line);
+        if (next != nullptr && next->IsPunct("=")) in_init = true;
+      }
+    }
+    (void)trailing_open_brace;
+    return out;
+  }
+
+  void ClassifySemicolonDecl(const std::vector<size_t>& head,
+                             ClassInfo* cls) {
+    if (head.empty()) return;
+    if (HeadHasIdent(head, "using") || HeadHasIdent(head, "typedef") ||
+        HeadHasIdent(head, "friend") || HeadHasIdent(head, "static") ||
+        HeadHasIdent(head, "enum")) {
+      return;
+    }
+    if (ClassKeyword(head) != kNpos) return;  // forward declaration
+    size_t paren = TopLevelParen(head);
+    if (paren != kNpos) {
+      // Function declaration without inline body: pure virtual, defaulted,
+      // or defined out of line.
+      std::string name = FunctionName(head, paren);
+      if (name.empty()) return;
+      Function fn;
+      fn.name = name;
+      fn.line = t_[head[paren]].line;
+      fn.file = file_;
+      size_t n = head.size();
+      fn.defaulted = n >= 2 && t_[head[n - 1]].IsIdent("default") &&
+                     t_[head[n - 2]].IsPunct("=");
+      fn.has_body = false;
+      cls->functions.push_back(std::move(fn));
+      return;
+    }
+    for (auto& [name, line] : MemberNames(head, false)) {
+      Member m;
+      m.name = name;
+      m.line = line;
+      m.file = file_;
+      cls->members.push_back(std::move(m));
+    }
+  }
+
+  void HandleBlock(const std::vector<size_t>& head, size_t open,
+                   size_t close, const std::string& prefix,
+                   ClassInfo* cls) {
+    if (HeadHasIdent(head, "namespace")) {
+      size_t saved = i_;
+      i_ = open + 1;
+      ParseRegion(close, prefix, nullptr);
+      i_ = saved;
+      return;
+    }
+    if (HeadHasIdent(head, "enum")) return;
+    size_t ckw = ClassKeyword(head);
+    size_t paren = TopLevelParen(head);
+    if (ckw != kNpos && paren == kNpos) {
+      // Class/struct/union definition. Name = next identifier after the
+      // keyword (anonymous aggregates are skipped but their body is still
+      // scanned so nested named classes are found).
+      std::string name;
+      size_t name_at = kNpos;
+      for (size_t h = ckw + 1; h < head.size(); ++h) {
+        if (IsIdentTok(t_[head[h]]) && !IsAttrMacroName(t_[head[h]].text) &&
+            t_[head[h]].text != "alignas" && t_[head[h]].text != "final") {
+          name = t_[head[h]].text;
+          name_at = h;
+          break;
+        }
+      }
+      if (name.empty()) return;
+      std::string qualified = prefix.empty() ? name : prefix + "::" + name;
+      ClassInfo* info = GetClass(qualified);
+      // Bases: tokens after a ':' following the name.
+      for (size_t h = name_at + 1; h < head.size(); ++h) {
+        if (!t_[head[h]].IsPunct(":")) continue;
+        std::string last;
+        int angle = 0;
+        for (size_t b = h + 1; b < head.size(); ++b) {
+          const Token& tok = t_[head[b]];
+          if (tok.kind == TokenKind::kPunct) {
+            if (tok.text == "<" && b > 0 && IsIdentTok(t_[head[b - 1]])) {
+              if (angle == 0 && !last.empty()) {
+                info->bases.push_back(last);
+                last.clear();
+              }
+              ++angle;
+            } else if (angle > 0) {
+              angle -= std::min(angle, CloseAngleCount(tok));
+            } else if (tok.text == ",") {
+              if (!last.empty()) info->bases.push_back(last);
+              last.clear();
+            }
+            continue;
+          }
+          if (angle != 0 || !IsIdentTok(tok)) continue;
+          const std::string& s = tok.text;
+          if (IsAccessSpecifier(s) || s == "virtual" || s == "std") {
+            continue;
+          }
+          last = s;
+        }
+        if (!last.empty()) info->bases.push_back(last);
+        break;
+      }
+      size_t saved = i_;
+      i_ = open + 1;
+      ParseRegion(close, qualified, info);
+      i_ = saved;
+      return;
+    }
+    if (paren != kNpos) {
+      std::string name = FunctionName(head, paren);
+      if (name.empty()) return;
+      Function fn;
+      fn.name = name;
+      fn.line = t_[head[paren]].line;
+      fn.file = file_;
+      fn.has_body = true;
+      fn.body_idents = BodyIdents(head, paren + 1, open, close);
+      if (cls != nullptr) {
+        cls->functions.push_back(std::move(fn));
+        return;
+      }
+      std::string qual = Qualifier(head, paren);
+      if (!qual.empty()) {
+        pending_->push_back({std::move(qual), std::move(fn)});
+      }
+      return;
+    }
+    if (cls != nullptr) {
+      // Member with a brace initializer: "std::atomic<int> hits_{0};".
+      for (auto& [name, line] : MemberNames(head, true)) {
+        Member m;
+        m.name = name;
+        m.line = line;
+        m.file = file_;
+        cls->members.push_back(std::move(m));
+      }
+    }
+    // Anything else at namespace scope (free function, initializer) is
+    // opaque to the class model.
+  }
+
+  void ParseRegion(size_t end, const std::string& prefix, ClassInfo* cls) {
+    std::vector<size_t> head;
+    while (i_ < end) {
+      const Token& tok = t_[i_];
+      if (tok.IsPunct("{")) {
+        size_t close = MatchBrace(i_, end);
+        HandleBlock(head, i_, close, prefix, cls);
+        head.clear();
+        i_ = close < end ? close + 1 : end;
+        continue;
+      }
+      if (tok.IsPunct("}")) {
+        ++i_;
+        continue;
+      }
+      if (tok.IsPunct(";")) {
+        if (cls != nullptr) ClassifySemicolonDecl(head, cls);
+        head.clear();
+        ++i_;
+        continue;
+      }
+      if (tok.IsPunct(":") && cls != nullptr && head.size() == 1 &&
+          IsIdentTok(t_[head[0]]) && IsAccessSpecifier(t_[head[0]].text)) {
+        head.clear();
+        ++i_;
+        continue;
+      }
+      head.push_back(i_);
+      ++i_;
+    }
+  }
+
+  std::vector<Token> t_;
+  size_t i_ = 0;
+  std::string file_;
+  std::map<std::string, ClassInfo>* classes_;
+  std::vector<PendingFunction>* pending_;
+};
+
+std::vector<Token> CodeTokens(const std::vector<Token>& all) {
+  std::vector<Token> out;
+  for (const Token& t : all) {
+    if (t.kind == TokenKind::kComment ||
+        t.kind == TokenKind::kPreprocessor || t.in_directive) {
+      continue;
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+void ResolvePending(const std::vector<PendingFunction>& pending,
+                    std::map<std::string, ClassInfo>* classes) {
+  auto matches = [](const std::string& key, const std::string& qual) {
+    if (key == qual) return true;
+    if (qual.size() > key.size() + 2 &&
+        qual.compare(qual.size() - key.size() - 2, 2, "::") == 0 &&
+        qual.compare(qual.size() - key.size(), key.size(), key) == 0) {
+      return true;  // qualifier carries namespace prefixes
+    }
+    if (key.size() > qual.size() + 2 &&
+        key.compare(key.size() - qual.size() - 2, 2, "::") == 0 &&
+        key.compare(key.size() - qual.size(), qual.size(), qual) == 0) {
+      return true;  // class nested deeper than the qualifier spells
+    }
+    return false;
+  };
+  for (const PendingFunction& p : pending) {
+    ClassInfo* best = nullptr;
+    size_t best_len = 0;
+    for (auto& [key, info] : *classes) {
+      if (matches(key, p.qualifier) && key.size() >= best_len) {
+        best = &info;
+        best_len = key.size();
+      }
+    }
+    if (best != nullptr) best->functions.push_back(p.fn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sig-skip comments
+// ---------------------------------------------------------------------------
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+struct SkipComment {
+  int start_line = 0;
+  int end_line = 0;
+  std::vector<std::string> groups;  // validated slugs only
+  std::string reason;
+  bool malformed = false;
+  std::string malformed_why;
+};
+
+/// Parses every "sig-skip" occurrence in one comment token.
+std::vector<SkipComment> ParseSkipComments(const Token& comment) {
+  std::vector<SkipComment> out;
+  const std::string& text = comment.text;
+  int newlines = static_cast<int>(
+      std::count(text.begin(), text.end(), '\n'));
+  size_t pos = 0;
+  while ((pos = text.find("sig-skip", pos)) != std::string::npos) {
+    SkipComment sc;
+    sc.start_line = comment.line;
+    sc.end_line = comment.line + newlines;
+    size_t p = pos + 8;  // past "sig-skip"
+    pos = p;
+    // Prose mentioning "sig-skips" or "sig-skipped" is not a marker; only
+    // a bare "sig-skip" (ideally followed by '(') is.
+    if (p < text.size() && IsIdentChar(text[p])) continue;
+    if (p >= text.size() || text[p] != '(') {
+      sc.malformed = true;
+      sc.malformed_why = "expected 'sig-skip(<group>[, <group>]): <why>'";
+      out.push_back(std::move(sc));
+      continue;
+    }
+    size_t close = text.find(')', p);
+    if (close == std::string::npos) {
+      sc.malformed = true;
+      sc.malformed_why = "unterminated sig-skip group list";
+      out.push_back(std::move(sc));
+      continue;
+    }
+    std::string list = text.substr(p + 1, close - p - 1);
+    std::istringstream groups(list);
+    std::string item;
+    bool any_unknown = false;
+    while (std::getline(groups, item, ',')) {
+      std::string slug = Trim(item);
+      if (slug.empty()) continue;
+      if (FindGroup(slug) == nullptr) {
+        sc.malformed = true;
+        sc.malformed_why = "unknown invariant group '" + slug +
+                           "' (known: hash, equals, clone, rebind, "
+                           "serialize)";
+        any_unknown = true;
+        break;
+      }
+      sc.groups.push_back(slug);
+    }
+    if (!any_unknown) {
+      if (sc.groups.empty()) {
+        sc.malformed = true;
+        sc.malformed_why = "sig-skip lists no group";
+      } else {
+        size_t after = close + 1;
+        while (after < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[after]))) {
+          ++after;
+        }
+        if (after >= text.size() || text[after] != ':') {
+          sc.malformed = true;
+          sc.malformed_why = "sig-skip needs a reason: 'sig-skip(" + list +
+                             "): <why>'";
+        } else {
+          size_t eol = text.find('\n', after);
+          std::string reason = text.substr(
+              after + 1,
+              eol == std::string::npos ? std::string::npos
+                                       : eol - after - 1);
+          sc.reason = Trim(reason);
+          if (sc.reason.empty()) {
+            sc.malformed = true;
+            sc.malformed_why = "sig-skip reason is empty";
+          }
+        }
+      }
+    }
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism lint: unordered iteration
+// ---------------------------------------------------------------------------
+
+bool IsUnorderedContainerName(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+/// Skips a template-argument list starting at the '<' at `j`; returns the
+/// index just past the matching close.
+size_t SkipAngles(const std::vector<Token>& t, size_t j) {
+  int depth = 0;
+  for (; j < t.size(); ++j) {
+    if (t[j].kind != TokenKind::kPunct) continue;
+    if (t[j].text == "<") ++depth;
+    int close = CloseAngleCount(t[j]);
+    if (close > 0) {
+      depth -= close;
+      if (depth <= 0) return j + 1;
+    }
+  }
+  return j;
+}
+
+void ScanUnorderedIteration(const std::string& display_path,
+                            const std::vector<Token>& code,
+                            const std::vector<Token>& comments,
+                            std::vector<Violation>* out) {
+  // Pass 1: type aliases of unordered containers.
+  std::set<std::string> unordered_types;
+  for (size_t j = 0; j + 3 < code.size(); ++j) {
+    if (!code[j].IsIdent("using") || !IsIdentTok(code[j + 1]) ||
+        !code[j + 2].IsPunct("=")) {
+      continue;
+    }
+    for (size_t k = j + 3; k < code.size(); ++k) {
+      if (code[k].IsPunct(";")) break;
+      if (IsIdentTok(code[k]) && IsUnorderedContainerName(code[k].text)) {
+        unordered_types.insert(code[j + 1].text);
+        break;
+      }
+    }
+  }
+  // Pass 2: variables (members, locals, params) of unordered type.
+  std::set<std::string> unordered_vars;
+  for (size_t j = 0; j < code.size(); ++j) {
+    if (!IsIdentTok(code[j])) continue;
+    bool is_unordered = IsUnorderedContainerName(code[j].text) ||
+                        unordered_types.count(code[j].text) > 0;
+    if (!is_unordered) continue;
+    size_t k = j + 1;
+    if (k < code.size() && code[k].IsPunct("<")) {
+      k = SkipAngles(code, k);
+    }
+    while (k < code.size() &&
+           (code[k].IsPunct("&") || code[k].IsPunct("*") ||
+            code[k].IsIdent("const"))) {
+      ++k;
+    }
+    if (k < code.size() && IsIdentTok(code[k]) &&
+        !IsAttrMacroName(code[k].text) &&
+        !IsUnorderedContainerName(code[k].text)) {
+      unordered_vars.insert(code[k].text);
+    }
+  }
+  if (unordered_vars.empty()) return;
+  // Pass 3: range-for loops whose range expression names one of them.
+  for (size_t j = 0; j + 1 < code.size(); ++j) {
+    if (!code[j].IsIdent("for") || !code[j + 1].IsPunct("(")) continue;
+    int depth = 0;
+    size_t colon = 0;
+    size_t close = 0;
+    for (size_t k = j + 1; k < code.size(); ++k) {
+      if (code[k].kind != TokenKind::kPunct) continue;
+      if (code[k].text == "(") ++depth;
+      if (code[k].text == ")") {
+        --depth;
+        if (depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      if (code[k].text == ":" && depth == 1 && colon == 0) colon = k;
+      if (code[k].text == ";" && depth == 1) {
+        colon = 0;  // classic for loop, not range-for
+        break;
+      }
+    }
+    if (colon == 0 || close == 0) continue;
+    std::string hit;
+    for (size_t k = colon + 1; k < close; ++k) {
+      if (IsIdentTok(code[k]) && unordered_vars.count(code[k].text) > 0) {
+        hit = code[k].text;
+        break;
+      }
+    }
+    if (hit.empty()) continue;
+    int for_line = code[j].line;
+    bool justified = false;
+    for (const Token& c : comments) {
+      if (c.text.find("order-insensitive") == std::string::npos) continue;
+      int c_end = c.line + static_cast<int>(std::count(
+                               c.text.begin(), c.text.end(), '\n'));
+      if (c_end >= for_line - 3 && c.line <= for_line) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) {
+      out->push_back(
+          {display_path, for_line, "unordered-iteration",
+           "range-for over unordered container '" + hit +
+               "': hash order must never reach signatures or results — "
+               "sort first, or add a nearby '// order-insensitive: <why>' "
+               "comment"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coverage audit
+// ---------------------------------------------------------------------------
+
+std::string SimpleName(const std::string& qualified) {
+  size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+/// Classes reachable through base-class edges (suffix-matched against the
+/// class map), including `c` itself.
+std::vector<const ClassInfo*> ClassAndAncestors(
+    const ClassInfo& c, const std::map<std::string, ClassInfo>& classes) {
+  std::vector<const ClassInfo*> out;
+  std::set<const ClassInfo*> seen;
+  std::vector<const ClassInfo*> frontier = {&c};
+  while (!frontier.empty()) {
+    const ClassInfo* cur = frontier.back();
+    frontier.pop_back();
+    if (!seen.insert(cur).second) continue;
+    out.push_back(cur);
+    for (const std::string& base : cur->bases) {
+      for (const auto& [key, info] : classes) {
+        if (SimpleName(key) == base) frontier.push_back(&info);
+      }
+    }
+  }
+  return out;
+}
+
+/// The transitive identifier closure of one invariant group: the union of
+/// the group functions' body identifiers, expanded through same-class (and
+/// ancestor) method calls so delegation like operator== -> Compare counts.
+std::set<std::string> GroupClosure(
+    const ClassInfo& c, const GroupDef& group,
+    const std::map<std::string, ClassInfo>& classes) {
+  std::set<std::string> idents;
+  for (const Function& fn : c.functions) {
+    if (!fn.has_body) continue;
+    bool in_group = false;
+    for (const char* g : group.functions) {
+      if (fn.name == g) in_group = true;
+    }
+    if (!in_group) continue;
+    idents.insert(fn.body_idents.begin(), fn.body_idents.end());
+  }
+  // Method-name -> body map over the class and its ancestors, excluding
+  // constructors and destructors (a Clone that merely names the class for
+  // make_shared<T>(...) must not inherit coverage from T's constructor).
+  std::map<std::string, std::vector<const Function*>> methods;
+  for (const ClassInfo* k : ClassAndAncestors(c, classes)) {
+    std::string simple = SimpleName(k->name);
+    for (const Function& fn : k->functions) {
+      if (!fn.has_body) continue;
+      if (fn.name == simple || fn.name.rfind('~', 0) == 0) continue;
+      methods[fn.name].push_back(&fn);
+    }
+  }
+  std::vector<std::string> frontier(idents.begin(), idents.end());
+  std::set<std::string> expanded;
+  while (!frontier.empty()) {
+    std::string name = frontier.back();
+    frontier.pop_back();
+    if (!expanded.insert(name).second) continue;
+    auto it = methods.find(name);
+    if (it == methods.end()) continue;
+    for (const Function* fn : it->second) {
+      for (const std::string& ident : fn->body_idents) {
+        if (idents.insert(ident).second) frontier.push_back(ident);
+      }
+    }
+  }
+  return idents;
+}
+
+void AuditClass(const ClassInfo& c,
+                const std::map<std::string, ClassInfo>& classes,
+                std::vector<Violation>* out) {
+  for (const auto& group : Groups()) {
+    std::vector<const Function*> fns;
+    bool any_body = false;
+    bool any_default = false;
+    for (const Function& fn : c.functions) {
+      for (const char* g : group.functions) {
+        if (fn.name != g) continue;
+        fns.push_back(&fn);
+        any_body |= fn.has_body;
+        any_default |= fn.defaulted;
+      }
+    }
+    if (!any_body && !any_default) {
+      // Group not implemented here: any sig-skip naming it is stale.
+      for (const Member& m : c.members) {
+        for (const MemberSkip& s : m.skips) {
+          if (s.group != group.name) continue;
+          out->push_back(
+              {m.file, s.line, "stale-sig-skip",
+               "member '" + m.name + "' of " + c.name + " skips group '" +
+                   group.name +
+                   "' but the class implements no function of that group"});
+        }
+      }
+      continue;
+    }
+    std::set<std::string> closure;
+    if (!any_default) closure = GroupClosure(c, group, classes);
+    std::string fn_names;
+    for (const Function* fn : fns) {
+      if (!fn->has_body && !fn->defaulted) continue;
+      if (!fn_names.empty()) fn_names += "/";
+      fn_names += fn->name;
+    }
+    for (const Member& m : c.members) {
+      bool covered = any_default || closure.count(m.name) > 0;
+      const MemberSkip* skip = nullptr;
+      for (const MemberSkip& s : m.skips) {
+        if (s.group == group.name) skip = &s;
+      }
+      if (covered && skip != nullptr) {
+        out->push_back(
+            {m.file, skip->line, "stale-sig-skip",
+             "member '" + m.name + "' of " + c.name + " IS referenced by " +
+                 fn_names + "; drop the sig-skip(" + group.name + ")"});
+      } else if (!covered && skip == nullptr) {
+        out->push_back(
+            {m.file, m.line, "field-coverage",
+             "member '" + m.name + "' of " + c.name +
+                 " is not referenced by " + fn_names +
+                 " — include it, or annotate '// sig-skip(" + group.name +
+                 "): <why identity is preserved>'"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<AnalyzerRule>& AllAnalyzerRules() {
+  static const std::vector<AnalyzerRule> kRules = {
+      {"field-coverage",
+       "every data member of an identity-bearing class must be referenced "
+       "by each implemented invariant group (hash/equals/clone/rebind/"
+       "serialize) or carry a reasoned sig-skip",
+       "missing_hash_field.h"},
+      {"unknown-sig-skip",
+       "sig-skip must name known groups and carry a reason: "
+       "// sig-skip(<group>[, <group>]): <why>",
+       "unknown_sig_skip.h"},
+      {"stale-sig-skip",
+       "a sig-skip whose member is actually referenced, whose group the "
+       "class does not implement, or that attaches to no member, is an "
+       "error",
+       "stale_sig_skip.h"},
+      {"unordered-iteration",
+       "range-for over a std::unordered_* variable needs a nearby "
+       "'// order-insensitive: <why>' justification",
+       "unordered_iteration.cc"},
+  };
+  return kRules;
+}
+
+void ParseClasses(const SourceFile& file,
+                  std::map<std::string, ClassInfo>* classes) {
+  std::vector<PendingFunction> pending;
+  std::vector<Token> code = CodeTokens(Tokenize(file.content));
+  DeclParser parser(std::move(code), file.display_path, classes, &pending);
+  parser.Parse();
+  ResolvePending(pending, classes);
+}
+
+std::vector<Violation> AnalyzeSources(const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  std::map<std::string, ClassInfo> classes;
+  std::vector<PendingFunction> pending;
+
+  struct FileTokens {
+    const SourceFile* file;
+    std::vector<Token> comments;
+    std::vector<Token> code;
+  };
+  std::vector<FileTokens> tokenized;
+  tokenized.reserve(files.size());
+  for (const SourceFile& f : files) {
+    FileTokens ft;
+    ft.file = &f;
+    std::vector<Token> all = Tokenize(f.content);
+    for (const Token& t : all) {
+      if (t.kind == TokenKind::kComment) ft.comments.push_back(t);
+    }
+    ft.code = CodeTokens(all);
+    DeclParser parser(ft.code, f.display_path, &classes, &pending);
+    parser.Parse();
+    tokenized.push_back(std::move(ft));
+  }
+  ResolvePending(pending, &classes);
+
+  // Attach sig-skips: a skip on the member's own line, or in a comment
+  // ending at most two lines above it. Dangling skips are stale.
+  for (const FileTokens& ft : tokenized) {
+    std::vector<Member*> file_members;
+    for (auto& [key, info] : classes) {
+      for (Member& m : info.members) {
+        if (m.file == ft.file->display_path) file_members.push_back(&m);
+      }
+    }
+    for (const Token& comment : ft.comments) {
+      for (SkipComment& sc : ParseSkipComments(comment)) {
+        if (sc.malformed) {
+          out.push_back({ft.file->display_path, sc.start_line,
+                         "unknown-sig-skip", sc.malformed_why});
+          continue;
+        }
+        Member* target = nullptr;
+        for (Member* m : file_members) {
+          if (m->line == sc.start_line) {
+            target = m;
+            break;
+          }
+        }
+        if (target == nullptr) {
+          for (Member* m : file_members) {
+            if (m->line > sc.end_line && m->line <= sc.end_line + 2 &&
+                (target == nullptr || m->line < target->line)) {
+              target = m;
+            }
+          }
+        }
+        if (target == nullptr) {
+          out.push_back(
+              {ft.file->display_path, sc.start_line, "stale-sig-skip",
+               "sig-skip comment attaches to no member declaration (the "
+               "member may have been renamed or removed)"});
+          continue;
+        }
+        for (const std::string& g : sc.groups) {
+          target->skips.push_back({g, sc.reason, sc.start_line});
+        }
+      }
+    }
+    ScanUnorderedIteration(ft.file->display_path, ft.code, ft.comments,
+                           &out);
+  }
+
+  for (const auto& [key, info] : classes) {
+    AuditClass(info, classes, &out);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+std::vector<Violation> AnalyzeTree(const std::vector<std::string>& roots) {
+  std::vector<Violation> out;
+  std::vector<SourceFile> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    fs::path root_path(root);
+    std::string prefix = root_path.filename().string();
+    if (prefix.empty()) prefix = root_path.parent_path().filename().string();
+    if (!fs::is_directory(root_path, ec)) {
+      out.push_back({root, 0, "io-error", "not a directory"});
+      continue;
+    }
+    std::vector<fs::path> paths;
+    for (fs::recursive_directory_iterator it(root_path, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      std::string p = it->path().string();
+      if (p.find("fixtures") != std::string::npos) continue;
+      paths.push_back(it->path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        out.push_back({path.string(), 0, "io-error", "unreadable file"});
+        continue;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      SourceFile f;
+      f.display_path = path.string();
+      f.rel_path =
+          prefix + "/" + fs::relative(path, root_path, ec).generic_string();
+      f.content = ss.str();
+      files.push_back(std::move(f));
+    }
+  }
+  std::vector<Violation> analyzed = AnalyzeSources(files);
+  out.insert(out.end(), analyzed.begin(), analyzed.end());
+  return out;
+}
+
+std::string ViolationsToJson(const std::vector<Violation>& violations) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::ostringstream js;
+  js << "[\n";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    js << "  {\"path\": \"" << escape(v.path) << "\", \"line\": " << v.line
+       << ", \"rule\": \"" << escape(v.rule) << "\", \"message\": \""
+       << escape(v.message) << "\"}";
+    if (i + 1 < violations.size()) js << ",";
+    js << "\n";
+  }
+  js << "]\n";
+  return js.str();
+}
+
+}  // namespace lint
+}  // namespace cloudviews

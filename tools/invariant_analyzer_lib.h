@@ -1,0 +1,114 @@
+#ifndef CLOUDVIEWS_TOOLS_INVARIANT_ANALYZER_LIB_H_
+#define CLOUDVIEWS_TOOLS_INVARIANT_ANALYZER_LIB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/repo_lint_lib.h"
+
+namespace cloudviews {
+namespace lint {
+
+/// The invariant-function groups the field-coverage analyzer audits. A
+/// class participates in a group when it declares one of the group's
+/// functions with a body (pure-virtual declarations and classes that do
+/// not implement the group are not audited for it). For every audited
+/// group, every declared instance data member must be referenced —
+/// directly or through a same-class/ancestor method the invariant function
+/// calls — or carry a reasoned `// sig-skip(<group>): <why>` annotation.
+///
+///   group      functions
+///   hash       Hash, HashInto, HashLocal, SubtreeHash, Fingerprint,
+///              Normalize
+///   equals     operator==, Equals
+///   clone      Clone
+///   rebind     RebindInstance
+///   serialize  Serialize, SerializeTo, ToJson
+///
+/// `= default` for a group function counts as covering every member (the
+/// compiler generates memberwise semantics).
+///
+/// Rules reported (all share the Violation struct with repo_lint):
+///   field-coverage     member not referenced by an implemented invariant
+///                      group and not sig-skip'd for it
+///   unknown-sig-skip   sig-skip names an unknown group, lists no group,
+///                      or has an empty reason
+///   stale-sig-skip     sig-skip on a member that IS referenced by the
+///                      group, on a group the class does not implement, or
+///                      a sig-skip comment attached to no member at all
+///   unordered-iteration range-for over a std::unordered_{map,set,...}
+///                      variable without a nearby `order-insensitive:`
+///                      justification comment — hash order must never
+///                      reach signatures or results
+struct AnalyzerRule {
+  const char* name;
+  const char* summary;
+  const char* fixture;  // file under tools/analyzer_fixtures/ proving it
+};
+
+/// The analyzer's rule table, for the docs/lint_rules.md consistency test.
+const std::vector<AnalyzerRule>& AllAnalyzerRules();
+
+/// One parsed member declaration.
+struct MemberSkip {
+  std::string group;
+  std::string reason;
+  int line = 0;
+};
+
+struct Member {
+  std::string name;
+  int line = 0;
+  std::string file;  // display path of the declaring file
+  std::vector<MemberSkip> skips;
+};
+
+struct Function {
+  std::string name;
+  bool has_body = false;
+  bool defaulted = false;
+  int line = 0;
+  std::string file;
+  std::vector<std::string> body_idents;  // identifiers in params + body
+};
+
+struct ClassInfo {
+  std::string name;  // qualified by enclosing classes: "Outer::Inner"
+  std::vector<std::string> bases;
+  std::vector<Member> members;
+  std::vector<Function> functions;
+};
+
+/// One source file handed to the analyzer.
+struct SourceFile {
+  std::string display_path;
+  std::string rel_path;  // repo-relative ("src/...") for scoping decisions
+  std::string content;
+};
+
+/// Parses class/struct declarations out of one file: members, inline and
+/// out-of-line method bodies (merged into the named class), base classes.
+/// Exposed for tests; AnalyzeSources drives it over every file and merges
+/// classes by qualified name across files.
+void ParseClasses(const SourceFile& file,
+                  std::map<std::string, ClassInfo>* classes);
+
+/// Runs the field-coverage audit + sig-skip validation + determinism lint
+/// over the given sources (one logical tree: headers and their .cc files
+/// should be passed together so out-of-line bodies are seen).
+std::vector<Violation> AnalyzeSources(const std::vector<SourceFile>& files);
+
+/// Recursively analyzes every .h/.cc/.cpp under each root (same tree
+/// walking and rel-path rules as LintTree). Fixture directories are
+/// skipped.
+std::vector<Violation> AnalyzeTree(const std::vector<std::string>& roots);
+
+/// Renders violations as a JSON array (stable field order: path, line,
+/// rule, message) for the CI artifact.
+std::string ViolationsToJson(const std::vector<Violation>& violations);
+
+}  // namespace lint
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TOOLS_INVARIANT_ANALYZER_LIB_H_

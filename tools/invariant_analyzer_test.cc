@@ -1,0 +1,197 @@
+#include "tools/invariant_analyzer_lib.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cloudviews {
+namespace lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(CV_ANALYZER_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Violation> AnalyzeFixture(const std::string& name) {
+  SourceFile f;
+  f.display_path = name;
+  f.rel_path = "tools/analyzer_fixtures/" + name;
+  f.content = ReadFixture(name);
+  return AnalyzeSources({f});
+}
+
+int CountRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(vs.begin(), vs.end(),
+                    [&](const Violation& v) { return v.rule == rule; }));
+}
+
+std::string Dump(const std::vector<Violation>& vs) {
+  std::ostringstream ss;
+  for (const auto& v : vs) {
+    ss << v.path << ":" << v.line << ": [" << v.rule << "] " << v.message
+       << "\n";
+  }
+  return ss.str();
+}
+
+TEST(InvariantAnalyzerTest, MissingHashFieldIsFlagged) {
+  auto vs = AnalyzeFixture("missing_hash_field.h");
+  ASSERT_EQ(vs.size(), 1u) << Dump(vs);
+  EXPECT_EQ(vs[0].rule, "field-coverage");
+  EXPECT_NE(vs[0].message.find("guid_"), std::string::npos);
+  EXPECT_NE(vs[0].message.find("hash"), std::string::npos);
+  EXPECT_NE(vs[0].message.find("BadHashNode"), std::string::npos);
+}
+
+TEST(InvariantAnalyzerTest, MissingRebindFieldIsFlagged) {
+  auto vs = AnalyzeFixture("missing_rebind_field.h");
+  ASSERT_EQ(vs.size(), 1u) << Dump(vs);
+  EXPECT_EQ(vs[0].rule, "field-coverage");
+  EXPECT_NE(vs[0].message.find("guid_"), std::string::npos);
+  EXPECT_NE(vs[0].message.find("rebind"), std::string::npos);
+}
+
+TEST(InvariantAnalyzerTest, StaleSkipsAreFlagged) {
+  auto vs = AnalyzeFixture("stale_sig_skip.h");
+  EXPECT_EQ(CountRule(vs, "stale-sig-skip"), 3) << Dump(vs);
+  EXPECT_EQ(vs.size(), 3u) << Dump(vs);
+}
+
+TEST(InvariantAnalyzerTest, MalformedSkipsAreErrorsAndDoNotAttach) {
+  auto vs = AnalyzeFixture("unknown_sig_skip.h");
+  // The typo'd group and the reason-less skip are unknown-sig-skip errors,
+  // and because neither attaches, both members stay uncovered.
+  EXPECT_EQ(CountRule(vs, "unknown-sig-skip"), 2) << Dump(vs);
+  EXPECT_EQ(CountRule(vs, "field-coverage"), 2) << Dump(vs);
+  EXPECT_EQ(vs.size(), 4u) << Dump(vs);
+}
+
+TEST(InvariantAnalyzerTest, UnorderedIterationInSignaturePath) {
+  auto vs = AnalyzeFixture("unordered_iteration.cc");
+  ASSERT_EQ(vs.size(), 2u) << Dump(vs);
+  EXPECT_EQ(vs[0].rule, "unordered-iteration");
+  EXPECT_EQ(vs[1].rule, "unordered-iteration");
+  EXPECT_EQ(vs[0].line, 15);
+  EXPECT_EQ(vs[1].line, 24);
+}
+
+TEST(InvariantAnalyzerTest, CleanIdentityClassPasses) {
+  auto vs = AnalyzeFixture("clean_identity.h");
+  EXPECT_TRUE(vs.empty()) << Dump(vs);
+}
+
+TEST(InvariantAnalyzerTest, CoverageAcrossSplitDeclarationAndDefinition) {
+  // Declaration in a header, definition in a .cc — the audit must join
+  // them across files before deciding coverage.
+  SourceFile header;
+  header.display_path = "split.h";
+  header.rel_path = "src/split.h";
+  header.content = R"(class SplitNode {
+ public:
+  void HashInto(int* h) const;
+ private:
+  int width_ = 0;
+  int height_ = 0;
+};
+)";
+  SourceFile impl;
+  impl.display_path = "split.cc";
+  impl.rel_path = "src/split.cc";
+  impl.content = R"(#include "split.h"
+void SplitNode::HashInto(int* h) const { *h = width_; }
+)";
+  auto vs = AnalyzeSources({header, impl});
+  ASSERT_EQ(vs.size(), 1u) << Dump(vs);
+  EXPECT_EQ(vs[0].rule, "field-coverage");
+  EXPECT_EQ(vs[0].path, "split.h");
+  EXPECT_NE(vs[0].message.find("height_"), std::string::npos);
+}
+
+TEST(InvariantAnalyzerTest, DeclarationOnlyGroupIsNotAudited) {
+  // Only a declaration, no body anywhere: the analyzer cannot see the
+  // implementation, so it must stay silent rather than guess.
+  SourceFile f;
+  f.display_path = "decl_only.h";
+  f.rel_path = "src/decl_only.h";
+  f.content = R"(class OpaqueNode {
+ public:
+  void HashInto(int* h) const;
+ private:
+  int hidden_ = 0;
+};
+)";
+  auto vs = AnalyzeSources({f});
+  EXPECT_TRUE(vs.empty()) << Dump(vs);
+}
+
+TEST(InvariantAnalyzerTest, RuleTableMatchesFixtures) {
+  const auto& rules = AllAnalyzerRules();
+  ASSERT_EQ(rules.size(), 4u);
+  for (const auto& r : rules) {
+    std::string path =
+        std::string(CV_ANALYZER_FIXTURE_DIR) + "/" + r.fixture;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "rule " << r.name
+                           << " names a missing fixture " << r.fixture;
+  }
+}
+
+TEST(InvariantAnalyzerTest, DocsTableListsExactlyTheRegisteredRules) {
+  std::ifstream in(std::string(CV_DOCS_DIR) + "/lint_rules.md");
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string docs = ss.str();
+
+  size_t begin = docs.find("## invariant_analyzer rules");
+  ASSERT_NE(begin, std::string::npos);
+  size_t end = docs.find("\n## ", begin + 1);
+  std::string section = docs.substr(
+      begin, end == std::string::npos ? std::string::npos : end - begin);
+
+  size_t rows = 0;
+  for (size_t pos = section.find("\n| `"); pos != std::string::npos;
+       pos = section.find("\n| `", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, AllAnalyzerRules().size())
+      << "docs/lint_rules.md analyzer table row count must match "
+         "AllAnalyzerRules()";
+  for (const auto& rule : AllAnalyzerRules()) {
+    EXPECT_NE(section.find("| `" + std::string(rule.name) + "` |"),
+              std::string::npos)
+        << "docs/lint_rules.md is missing rule " << rule.name;
+  }
+}
+
+TEST(InvariantAnalyzerTest, JsonReportEscapesAndLists) {
+  std::vector<Violation> vs = {
+      {"a.h", 3, "field-coverage", "member \"x_\"\nnot covered"}};
+  std::string json = ViolationsToJson(vs);
+  EXPECT_NE(json.find("\"rule\": \"field-coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"x_\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  // The raw newline must not survive inside the JSON string value.
+  EXPECT_EQ(json.find("\nnot"), std::string::npos);
+}
+
+TEST(InvariantAnalyzerTest, LiveTreeIsClean) {
+  // The analyzer gates src/ in tier-1: every identity type either covers
+  // its members or carries a reasoned sig-skip.
+  auto vs = AnalyzeTree({std::string(CV_ANALYZER_SRC_DIR)});
+  EXPECT_TRUE(vs.empty()) << Dump(vs);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace cloudviews

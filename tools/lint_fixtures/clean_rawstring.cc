@@ -1,0 +1,24 @@
+// Fixture: banned constructs named inside a multi-line raw string. The old
+// line-oriented sanitizer lost the raw-string state across lines, so the
+// continuation lines leaked into rule matching and fired banned-random /
+// banned-sync / banned-sleep / banned-clock. The token-level rules must
+// see one string literal and report nothing.
+#include <string>
+
+namespace cloudviews_fixture {
+
+inline std::string BannedConstructsDoc() {
+  return R"doc(
+    Operators must never call srand(), std::rand(), or random_device
+    directly; std::mutex, std::lock_guard and friends are reserved for
+    common/mutex.h; sleep_for(), usleep() and nanosleep() belong in
+    fault/backoff; steady_clock and time(nullptr) live in common/clock.h.
+    Even a naked new or assert(--x) mentioned here must not fire.
+  )doc";
+}
+
+inline std::string CustomDelimiter() {
+  return R"x(unbalanced " quote and a )stray( paren inside)x";
+}
+
+}  // namespace cloudviews_fixture

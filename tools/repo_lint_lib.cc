@@ -13,102 +13,47 @@ namespace {
 
 namespace fs = std::filesystem;
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+bool PathContains(const std::string& rel_path, const char* needle) {
+  return rel_path.find(needle) != std::string::npos;
 }
 
-/// True if `token` occurs in `text` with no identifier character on either
-/// side (so "srand" does not match "mysrandom").
-bool ContainsToken(const std::string& text, const std::string& token) {
-  size_t pos = 0;
-  while ((pos = text.find(token, pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
-    size_t end = pos + token.size();
-    bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
-    // Tokens ending in '(' or ')' delimit themselves on that side.
-    if (left_ok && (right_ok || !IsIdentChar(token.back()))) return true;
-    pos += 1;
-  }
-  return false;
+/// True when code[i] is an identifier directly preceded by `std` `::`.
+bool IsStdQualified(const std::vector<Token>& code, size_t i) {
+  return i >= 2 && code[i - 1].IsPunct("::") && code[i - 2].IsIdent("std");
 }
 
-bool ContainsAnyToken(const std::string& text,
-                      const std::vector<std::string>& tokens,
-                      std::string* which) {
-  for (const auto& t : tokens) {
-    if (ContainsToken(text, t)) {
-      *which = t;
-      return true;
-    }
-  }
-  return false;
-}
-
-/// A NOLINT *marker* is "NOLINT" opening a comment ("// NOLINT..." or
-/// "/* NOLINT..."); prose that merely mentions NOLINT mid-sentence is not
-/// a marker. A reasoned marker looks like "NOLINT(<category>): <why>" or
-/// at minimum "NOLINT(<non-empty>)". Returns true when a marker (reasoned
-/// or bare) exists; sets `reasoned` accordingly.
-bool FindNolint(const std::string& raw_line, bool* reasoned) {
+/// A NOLINT *marker* opens a comment ("// NOLINT..." or "/* NOLINT...");
+/// prose that merely mentions NOLINT mid-sentence is not a marker. A
+/// reasoned marker looks like "NOLINT(<category>): <why>" or at minimum
+/// "NOLINT(<non-empty>)". Returns true when a marker exists; sets
+/// `reasoned` and `nextline` accordingly.
+bool FindNolint(const std::string& comment_text, bool* reasoned,
+                bool* nextline) {
   size_t pos = 0;
   for (;;) {
-    pos = raw_line.find("NOLINT", pos);
+    pos = comment_text.find("NOLINT", pos);
     if (pos == std::string::npos) return false;
     size_t before = pos;
-    while (before > 0 && (raw_line[before - 1] == ' ' ||
-                          raw_line[before - 1] == '\t')) {
+    while (before > 0 && (comment_text[before - 1] == ' ' ||
+                          comment_text[before - 1] == '\t')) {
       --before;
     }
-    if (before >= 2 && raw_line[before - 2] == '/' &&
-        (raw_line[before - 1] == '/' || raw_line[before - 1] == '*')) {
+    if (before >= 2 && comment_text[before - 2] == '/' &&
+        (comment_text[before - 1] == '/' ||
+         comment_text[before - 1] == '*')) {
       break;  // comment-opening marker
     }
     pos += 6;
   }
   size_t after = pos + 6;  // strlen("NOLINT")
-  // NOLINTNEXTLINE is treated like NOLINT for the reason requirement.
-  if (raw_line.compare(after, 8, "NEXTLINE") == 0) after += 8;
+  *nextline = comment_text.compare(after, 8, "NEXTLINE") == 0;
+  if (*nextline) after += 8;
   *reasoned = false;
-  if (after < raw_line.size() && raw_line[after] == '(') {
-    size_t close = raw_line.find(')', after);
-    if (close != std::string::npos && close > after + 1) {
-      *reasoned = true;
-    }
+  if (after < comment_text.size() && comment_text[after] == '(') {
+    size_t close = comment_text.find(')', after);
+    if (close != std::string::npos && close > after + 1) *reasoned = true;
   }
   return true;
-}
-
-/// True when the assert argument mutates state: ++/-- or an assignment
-/// ('=' that is not part of ==, !=, <=, >=).
-bool HasSideEffect(const std::string& arg) {
-  if (arg.find("++") != std::string::npos) return true;
-  if (arg.find("--") != std::string::npos) return true;
-  for (size_t i = 0; i < arg.size(); ++i) {
-    if (arg[i] != '=') continue;
-    bool cmp_left =
-        i > 0 && (arg[i - 1] == '=' || arg[i - 1] == '!' ||
-                  arg[i - 1] == '<' || arg[i - 1] == '>');
-    bool cmp_right = i + 1 < arg.size() && arg[i + 1] == '=';
-    if (!cmp_left && !cmp_right) return true;  // plain or compound assign
-  }
-  return false;
-}
-
-/// Extracts the balanced-paren argument of the assert starting at the '('
-/// at `open` in `text`; empty optional if unbalanced on this line batch.
-bool BalancedArg(const std::string& text, size_t open, std::string* arg) {
-  int depth = 0;
-  for (size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '(') ++depth;
-    if (text[i] == ')') {
-      --depth;
-      if (depth == 0) {
-        *arg = text.substr(open + 1, i - open - 1);
-        return true;
-      }
-    }
-  }
-  return false;
 }
 
 std::string ExpectedHeaderGuard(const std::string& rel_path) {
@@ -119,8 +64,7 @@ std::string ExpectedHeaderGuard(const std::string& rel_path) {
   std::string guard = "CLOUDVIEWS_";
   for (char c : p) {
     if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
-      guard += static_cast<char>(
-          std::toupper(static_cast<unsigned char>(c)));
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
     } else {
       guard += '_';
     }
@@ -129,11 +73,312 @@ std::string ExpectedHeaderGuard(const std::string& rel_path) {
   return guard;
 }
 
-bool PathContains(const std::string& rel_path, const char* needle) {
-  return rel_path.find(needle) != std::string::npos;
+/// True when a comment containing `needle` starts or ends within
+/// [line - reach, line] — the justification window rules give to
+/// declarations.
+bool JustifiedNearby(const FileCtx& ctx, const char* needle, int line,
+                     int reach) {
+  for (const Token& c : ctx.comments) {
+    if (c.text.find(needle) == std::string::npos) continue;
+    int end =
+        c.line + static_cast<int>(std::count(c.text.begin(), c.text.end(),
+                                             '\n'));
+    if (end >= line - reach && c.line <= line) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rules (token-level)
+// ---------------------------------------------------------------------------
+
+void RuleBannedRandom(const FileCtx& ctx, std::vector<Violation>* out) {
+  if (PathContains(ctx.rel_path, "common/random")) return;
+  const auto& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& s = code[i].text;
+    std::string which;
+    if (s == "srand" || s == "random_device") {
+      which = s;
+    } else if (s == "rand" && IsStdQualified(code, i)) {
+      which = "std::rand";
+    } else if (s == "time" && i + 3 < code.size() &&
+               code[i + 1].IsPunct("(") &&
+               (code[i + 2].IsIdent("nullptr") ||
+                code[i + 2].IsIdent("NULL")) &&
+               code[i + 3].IsPunct(")")) {
+      which = "time(" + code[i + 2].text + ")";
+    }
+    if (which.empty()) continue;
+    out->push_back({ctx.display_path, code[i].line, "banned-random",
+                    "'" + which +
+                        "' outside common/random; use cloudviews::Rng so "
+                        "runs stay reproducible"});
+  }
+}
+
+void RuleBannedClock(const FileCtx& ctx, std::vector<Violation>* out) {
+  if (PathContains(ctx.rel_path, "common/clock") ||
+      PathContains(ctx.rel_path, "src/obs/")) {
+    return;
+  }
+  for (const Token& t : ctx.code) {
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "steady_clock" && t.text != "system_clock" &&
+        t.text != "high_resolution_clock") {
+      continue;
+    }
+    out->push_back({ctx.display_path, t.line, "banned-clock",
+                    "'" + t.text +
+                        "' outside common/clock.h and src/obs; use "
+                        "MonotonicClock / MonotonicNowSeconds so time is "
+                        "injectable in tests"});
+  }
+}
+
+void RuleBannedSleep(const FileCtx& ctx, std::vector<Violation>* out) {
+  if (PathContains(ctx.rel_path, "fault/backoff")) return;
+  for (const Token& t : ctx.code) {
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "sleep_for" && t.text != "sleep_until" &&
+        t.text != "usleep" && t.text != "nanosleep") {
+      continue;
+    }
+    out->push_back({ctx.display_path, t.line, "banned-sleep",
+                    "'" + t.text +
+                        "' outside fault/backoff; hand-rolled sleeps in "
+                        "retry loops are untestable — use "
+                        "fault::RetryWithBackoff (with an injectable "
+                        "Sleeper)"});
+  }
+}
+
+void RuleBannedSync(const FileCtx& ctx, std::vector<Violation>* out) {
+  if (PathContains(ctx.rel_path, "common/mutex.h")) return;
+  const auto& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& s = code[i].text;
+    if (s != "mutex" && s != "condition_variable" && s != "lock_guard" &&
+        s != "unique_lock" && s != "scoped_lock" && s != "shared_mutex" &&
+        s != "shared_lock" && s != "recursive_mutex") {
+      continue;
+    }
+    if (!IsStdQualified(code, i)) continue;
+    out->push_back({ctx.display_path, code[i].line, "banned-sync",
+                    "'std::" + s +
+                        "' outside common/mutex.h; use the annotated "
+                        "Mutex/MutexLock/CondVar so clang -Wthread-safety "
+                        "can check the locking"});
+  }
+}
+
+void RuleNakedNew(const FileCtx& ctx, std::vector<Violation>* out) {
+  const auto& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!code[i].IsIdent("new")) continue;
+    if (i > 0 && code[i - 1].IsIdent("operator")) continue;
+    out->push_back({ctx.display_path, code[i].line, "naked-new",
+                    "naked 'new'; use std::make_unique/std::make_shared "
+                    "(or NOLINT(naked-new): <why> for an intentional "
+                    "leak)"});
+  }
+}
+
+void RuleMutexGuarded(const FileCtx& ctx, std::vector<Violation>* out) {
+  if (!ctx.is_header || PathContains(ctx.rel_path, "common/mutex.h")) {
+    return;
+  }
+  const auto& code = ctx.code;
+  int first_mutex_line = 0;
+  bool saw_guarded_by = false;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].IsIdent("GUARDED_BY") || code[i].IsIdent("PT_GUARDED_BY")) {
+      saw_guarded_by = true;
+    }
+    // A member declaration "Mutex mu_;" (possibly "mutable Mutex mu_;").
+    if (first_mutex_line == 0 && code[i].IsIdent("Mutex") &&
+        i + 2 < code.size() &&
+        code[i + 1].kind == TokenKind::kIdentifier &&
+        code[i + 2].IsPunct(";")) {
+      first_mutex_line = code[i].line;
+    }
+  }
+  if (first_mutex_line != 0 && !saw_guarded_by) {
+    out->push_back({ctx.display_path, first_mutex_line, "mutex-guarded",
+                    "header declares a Mutex member but annotates nothing "
+                    "with GUARDED_BY; annotate the state the mutex "
+                    "protects"});
+  }
+}
+
+void RuleMetadataMapStripe(const FileCtx& ctx,
+                           std::vector<Violation>* out) {
+  if (!ctx.is_header || !PathContains(ctx.rel_path, "src/metadata/")) {
+    return;
+  }
+  const auto& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    if (code[i].text != "map" && code[i].text != "unordered_map") continue;
+    if (!IsStdQualified(code, i)) continue;
+    if (i + 1 >= code.size() || !code[i + 1].IsPunct("<")) continue;
+    // The declaration runs to the next ';'; it is guarded when GUARDED_BY
+    // appears in it.
+    bool guarded = false;
+    for (size_t j = i + 1; j < code.size(); ++j) {
+      if (code[j].IsPunct(";")) break;
+      if (code[j].IsIdent("GUARDED_BY")) guarded = true;
+    }
+    if (!guarded) continue;
+    int line = code[i - 2].line;  // the `std` token: start of the type
+    if (JustifiedNearby(ctx, "shard-stripe", line, 4)) continue;
+    out->push_back(
+        {ctx.display_path, line, "metadata-map-stripe",
+         "mutex-guarded map member in a src/metadata/ header; the "
+         "metadata hot path must stay sharded — stripe the map per "
+         "signature shard, or add a 'shard-stripe: <why>' comment "
+         "justifying the single lock"});
+  }
+}
+
+void RuleCompensationComment(const FileCtx& ctx,
+                             std::vector<Violation>* out) {
+  if (!PathContains(ctx.rel_path, "optimizer/view_matcher.") &&
+      !PathContains(ctx.rel_path, "optimizer/view_rewriter.")) {
+    return;
+  }
+  const auto& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!code[i].IsIdent("make_shared")) continue;
+    if (i + 1 >= code.size() || !code[i + 1].IsPunct("<")) continue;
+    // Collect the (possibly qualified) template type name.
+    std::string type;
+    for (size_t j = i + 2; j < code.size(); ++j) {
+      if (code[j].kind == TokenKind::kIdentifier) {
+        type = code[j].text;
+        continue;
+      }
+      if (code[j].IsPunct("::")) continue;
+      break;
+    }
+    if (type.size() < 4 ||
+        type.compare(type.size() - 4, 4, "Node") != 0) {
+      continue;
+    }
+    int line = code[i].line;
+    // Every plan-node construction in the matcher / rewriter is a
+    // compensation (or exact-replacement) operator whose byte-identity
+    // argument must be written down nearby.
+    if (JustifiedNearby(ctx, "compensation:", line, 4)) continue;
+    out->push_back(
+        {ctx.display_path, line, "compensation-comment",
+         "plan-node construction ('" + type +
+             "') in the view-matching compensation path without a "
+             "nearby '// compensation: <why byte-identical>' "
+             "justification comment"});
+  }
+}
+
+void RuleAssertSideEffect(const FileCtx& ctx,
+                          std::vector<Violation>* out) {
+  const auto& code = ctx.code;
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    if (!code[i].IsIdent("assert") || !code[i + 1].IsPunct("(")) continue;
+    int depth = 0;
+    bool mutates = false;
+    for (size_t j = i + 1; j < code.size(); ++j) {
+      if (code[j].kind != TokenKind::kPunct) continue;
+      const std::string& p = code[j].text;
+      if (p == "(") ++depth;
+      if (p == ")") {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (p == "++" || p == "--" || p == "=" || p == "+=" || p == "-=" ||
+          p == "*=" || p == "/=" || p == "%=" || p == "^=" || p == "&=" ||
+          p == "|=" || p == "<<=" || p == ">>=") {
+        mutates = true;
+      }
+    }
+    if (mutates) {
+      out->push_back({ctx.display_path, code[i].line, "assert-side-effect",
+                      "assert() argument has side effects; it vanishes "
+                      "under NDEBUG"});
+    }
+  }
+}
+
+void RuleHeaderGuard(const FileCtx& ctx, std::vector<Violation>* out) {
+  if (!ctx.is_header) return;
+  std::string guard = ExpectedHeaderGuard(ctx.rel_path);
+  if (ctx.content->find("#ifndef " + guard) == std::string::npos ||
+      ctx.content->find("#define " + guard) == std::string::npos) {
+    out->push_back({ctx.display_path, 1, "header-guard",
+                    "expected include guard '" + guard + "'"});
+  }
+}
+
+void RuleNolintReason(const FileCtx& ctx, std::vector<Violation>* out) {
+  for (const Token& c : ctx.comments) {
+    bool reasoned = false;
+    bool nextline = false;
+    if (FindNolint(c.text, &reasoned, &nextline) && !reasoned) {
+      out->push_back({ctx.display_path, c.line, "nolint-reason",
+                      "NOLINT without a category and reason; write "
+                      "NOLINT(<rule>): <why>"});
+    }
+  }
 }
 
 }  // namespace
+
+const std::vector<LintRule>& AllRules() {
+  static const std::vector<LintRule> kRules = {
+      {"banned-random",
+       "std::rand/srand/random_device/time(nullptr) outside common/random "
+       "— use cloudviews::Rng",
+       "bad_random.cc", RuleBannedRandom},
+      {"banned-clock",
+       "ad-hoc std::chrono clocks outside common/clock.h and src/obs — "
+       "use MonotonicClock",
+       "bad_clock.cc", RuleBannedClock},
+      {"banned-sleep",
+       "sleep_for/sleep_until/usleep/nanosleep outside fault/backoff — "
+       "use fault::RetryWithBackoff",
+       "bad_sleep.cc", RuleBannedSleep},
+      {"banned-sync",
+       "raw std sync primitives outside common/mutex.h — use the "
+       "annotated Mutex/MutexLock/CondVar",
+       "bad_sync.cc", RuleBannedSync},
+      {"naked-new",
+       "naked 'new' — use std::make_unique/std::make_shared",
+       "bad_new.cc", RuleNakedNew},
+      {"mutex-guarded",
+       "a header declaring a Mutex member must GUARDED_BY-annotate the "
+       "state it protects",
+       "bad_unguarded.h", RuleMutexGuarded},
+      {"metadata-map-stripe",
+       "a GUARDED_BY'd map member in a src/metadata/ header needs a "
+       "'shard-stripe' justification",
+       "bad_metadata_map.h", RuleMetadataMapStripe},
+      {"compensation-comment",
+       "a PlanNode construction in view_matcher/view_rewriter needs a "
+       "'// compensation: <why>' comment",
+       "bad_compensation.cc", RuleCompensationComment},
+      {"assert-side-effect",
+       "assert() whose argument mutates state vanishes under NDEBUG",
+       "bad_assert.cc", RuleAssertSideEffect},
+      {"header-guard",
+       "include guards must be CLOUDVIEWS_<PATH>_H_",
+       "bad_guard.h", RuleHeaderGuard},
+      {"nolint-reason",
+       "NOLINT must carry a category and reason: NOLINT(rule): why",
+       "bad_nolint.cc", RuleNolintReason},
+  };
+  return kRules;
+}
 
 std::string SanitizeLine(const std::string& line, bool* in_block_comment) {
   std::string out;
@@ -176,254 +421,47 @@ std::string SanitizeLine(const std::string& line, bool* in_block_comment) {
 std::vector<Violation> LintFile(const std::string& display_path,
                                 const std::string& rel_path,
                                 const std::string& content) {
-  std::vector<Violation> out;
-  const bool is_header =
+  FileCtx ctx;
+  ctx.display_path = display_path;
+  ctx.rel_path = rel_path;
+  ctx.content = &content;
+  ctx.is_header =
       rel_path.size() >= 2 && rel_path.rfind(".h") == rel_path.size() - 2;
-  const bool in_random = PathContains(rel_path, "common/random");
-  const bool is_mutex_header = PathContains(rel_path, "common/mutex.h");
-  const bool in_clock =
-      PathContains(rel_path, "common/clock") ||
-      PathContains(rel_path, "src/obs/");
-  const bool in_backoff = PathContains(rel_path, "fault/backoff");
-  const bool is_metadata_header =
-      is_header && PathContains(rel_path, "src/metadata/");
-  const bool in_compensation_path =
-      PathContains(rel_path, "optimizer/view_matcher.") ||
-      PathContains(rel_path, "optimizer/view_rewriter.");
-
-  static const std::vector<std::string> kRandomTokens = {
-      "std::rand", "srand", "random_device", "time(nullptr)", "time(NULL)"};
-  static const std::vector<std::string> kClockTokens = {
-      "steady_clock", "system_clock", "high_resolution_clock"};
-  static const std::vector<std::string> kSleepTokens = {
-      "sleep_for", "sleep_until", "usleep", "nanosleep"};
-  static const std::vector<std::string> kSyncTokens = {
-      "std::mutex",       "std::condition_variable", "std::lock_guard",
-      "std::unique_lock", "std::scoped_lock",        "std::shared_mutex",
-      "std::shared_lock", "std::recursive_mutex"};
-
-  std::vector<std::string> raw_lines;
-  {
-    std::istringstream in(content);
-    std::string line;
-    while (std::getline(in, line)) raw_lines.push_back(line);
+  for (Token& t : Tokenize(content)) {
+    if (t.kind == TokenKind::kComment) {
+      ctx.comments.push_back(std::move(t));
+    } else {
+      ctx.code.push_back(std::move(t));
+    }
   }
-
-  bool in_block_comment = false;
-  bool saw_mutex_member = false;
-  int first_mutex_line = 0;
-  bool saw_guarded_by = false;
-  bool suppress_next_line = false;
-
-  for (size_t idx = 0; idx < raw_lines.size(); ++idx) {
-    const std::string& raw = raw_lines[idx];
-    const int line_no = static_cast<int>(idx) + 1;
-    std::string text = SanitizeLine(raw, &in_block_comment);
-
-    // NOLINT discipline first: a reasoned marker exempts the line from
-    // every other rule; a bare marker is itself a violation (and exempts
-    // nothing).
+  for (const Token& c : ctx.comments) {
     bool reasoned = false;
-    bool suppressed = suppress_next_line;
-    suppress_next_line = false;
-    if (FindNolint(raw, &reasoned)) {
-      if (!reasoned) {
-        out.push_back({display_path, line_no, "nolint-reason",
-                       "NOLINT without a category and reason; write "
-                       "NOLINT(<rule>): <why>"});
-      } else {
-        suppressed = true;
-        if (raw.find("NOLINTNEXTLINE") != std::string::npos) {
-          suppress_next_line = true;
-        }
-      }
-    }
-
-    // Whole-file bookkeeping runs even on suppressed lines.
-    if (text.find("GUARDED_BY") != std::string::npos ||
-        text.find("PT_GUARDED_BY") != std::string::npos) {
-      saw_guarded_by = true;
-    }
-    if (is_header && !is_mutex_header) {
-      // A member declaration like "Mutex mu_;" or "mutable Mutex mu_;".
-      size_t pos = text.find("Mutex ");
-      if (pos != std::string::npos &&
-          (pos == 0 || !IsIdentChar(text[pos == 0 ? 0 : pos - 1]))) {
-        std::string rest = text.substr(pos + 6);
-        size_t j = 0;
-        while (j < rest.size() && IsIdentChar(rest[j])) ++j;
-        size_t k = j;
-        while (k < rest.size() && rest[k] == ' ') ++k;
-        if (j > 0 && k < rest.size() && rest[k] == ';' &&
-            !saw_mutex_member) {
-          saw_mutex_member = true;
-          first_mutex_line = line_no;
-        }
-      }
-    }
-
-    if (suppressed) continue;
-
-    std::string which;
-    if (!in_random && ContainsAnyToken(text, kRandomTokens, &which)) {
-      out.push_back({display_path, line_no, "banned-random",
-                     "'" + which +
-                         "' outside common/random; use cloudviews::Rng so "
-                         "runs stay reproducible"});
-    }
-    if (!in_clock && ContainsAnyToken(text, kClockTokens, &which)) {
-      out.push_back({display_path, line_no, "banned-clock",
-                     "'" + which +
-                         "' outside common/clock.h and src/obs; use "
-                         "MonotonicClock / MonotonicNowSeconds so time is "
-                         "injectable in tests"});
-    }
-    if (!in_backoff && ContainsAnyToken(text, kSleepTokens, &which)) {
-      out.push_back({display_path, line_no, "banned-sleep",
-                     "'" + which +
-                         "' outside fault/backoff; hand-rolled sleeps in "
-                         "retry loops are untestable — use "
-                         "fault::RetryWithBackoff (with an injectable "
-                         "Sleeper)"});
-    }
-    if (!is_mutex_header && ContainsAnyToken(text, kSyncTokens, &which)) {
-      out.push_back({display_path, line_no, "banned-sync",
-                     "'" + which +
-                         "' outside common/mutex.h; use the annotated "
-                         "Mutex/MutexLock/CondVar so clang -Wthread-safety "
-                         "can check the locking"});
-    }
-    if (ContainsToken(text, "new")) {
-      // "new" as an expression: skip type-trait-ish uses like "operator new".
-      if (text.find("operator new") == std::string::npos) {
-        out.push_back({display_path, line_no, "naked-new",
-                       "naked 'new'; use std::make_unique/std::make_shared "
-                       "(or NOLINT(naked-new): <why> for an intentional "
-                       "leak)"});
-      }
-    }
-    if (is_metadata_header) {
-      size_t mpos = text.find("std::map<");
-      if (mpos == std::string::npos) mpos = text.find("std::unordered_map<");
-      if (mpos != std::string::npos) {
-        // Join up to 3 following lines so a GUARDED_BY on the wrapped
-        // continuation of the declaration is seen.
-        std::string joined = text;
-        bool bc = in_block_comment;
-        for (size_t extra = 1;
-             extra <= 3 && idx + extra < raw_lines.size(); ++extra) {
-          joined += ' ';
-          joined += SanitizeLine(raw_lines[idx + extra], &bc);
-        }
-        if (joined.find("GUARDED_BY(") != std::string::npos) {
-          // A "shard-stripe" comment on this line or within the preceding
-          // 4 raw lines justifies the map (raw lines: the justification
-          // lives in a comment).
-          bool justified = false;
-          size_t lo = idx >= 4 ? idx - 4 : 0;
-          for (size_t j = lo; j <= idx && !justified; ++j) {
-            if (raw_lines[j].find("shard-stripe") != std::string::npos) {
-              justified = true;
-            }
-          }
-          if (!justified) {
-            out.push_back(
-                {display_path, line_no, "metadata-map-stripe",
-                 "mutex-guarded map member in a src/metadata/ header; the "
-                 "metadata hot path must stay sharded — stripe the map per "
-                 "signature shard, or add a 'shard-stripe: <why>' comment "
-                 "justifying the single lock"});
-          }
-        }
-      }
-    }
-    if (in_compensation_path) {
-      size_t cpos = text.find("make_shared<");
-      if (cpos != std::string::npos) {
-        // Join up to 2 following lines so a wrapped template argument
-        // (`make_shared<\n    ViewReadNode>`) is still seen.
-        std::string joined = text;
-        bool bc = in_block_comment;
-        for (size_t extra = 1;
-             extra <= 2 && idx + extra < raw_lines.size(); ++extra) {
-          joined += ' ';
-          joined += SanitizeLine(raw_lines[idx + extra], &bc);
-        }
-        size_t tpos = joined.find("make_shared<") + 12;
-        size_t tend = tpos;
-        while (tend < joined.size() &&
-               (IsIdentChar(joined[tend]) || joined[tend] == ':' ||
-                joined[tend] == ' ')) {
-          ++tend;
-        }
-        std::string type = joined.substr(tpos, tend - tpos);
-        while (!type.empty() && type.back() == ' ') type.pop_back();
-        if (type.size() >= 4 &&
-            type.compare(type.size() - 4, 4, "Node") == 0) {
-          // Every plan-node construction in the matcher / rewriter is a
-          // compensation (or exact-replacement) operator whose byte-
-          // identity argument must be written down: require a
-          // "compensation:" justification comment on this line or within
-          // the preceding 4 raw lines (raw: the justification is a
-          // comment).
-          bool justified = false;
-          size_t lo = idx >= 4 ? idx - 4 : 0;
-          for (size_t j = lo; j <= idx && !justified; ++j) {
-            if (raw_lines[j].find("compensation:") != std::string::npos) {
-              justified = true;
-            }
-          }
-          if (!justified) {
-            out.push_back(
-                {display_path, line_no, "compensation-comment",
-                 "plan-node construction ('" + type +
-                     "') in the view-matching compensation path without a "
-                     "nearby '// compensation: <why byte-identical>' "
-                     "justification comment"});
-          }
-        }
-      }
-    }
-    size_t apos = 0;
-    while ((apos = text.find("assert", apos)) != std::string::npos) {
-      bool word = (apos == 0 || !IsIdentChar(text[apos - 1])) &&
-                  apos + 6 < text.size() && text[apos + 6] == '(';
-      if (word) {
-        // Join up to 3 following lines so multi-line asserts are covered.
-        std::string joined = text;
-        bool bc = in_block_comment;
-        for (size_t extra = 1;
-             extra <= 3 && idx + extra < raw_lines.size(); ++extra) {
-          joined += ' ';
-          joined += SanitizeLine(raw_lines[idx + extra], &bc);
-        }
-        std::string arg;
-        if (BalancedArg(joined, apos + 6, &arg) && HasSideEffect(arg)) {
-          out.push_back({display_path, line_no, "assert-side-effect",
-                         "assert() argument has side effects; it vanishes "
-                         "under NDEBUG"});
-        }
-      }
-      apos += 6;
+    bool nextline = false;
+    if (FindNolint(c.text, &reasoned, &nextline) && reasoned) {
+      ctx.suppressed_lines.insert(c.line);
+      if (nextline) ctx.suppressed_lines.insert(c.line + 1);
     }
   }
 
-  if (saw_mutex_member && !saw_guarded_by) {
-    out.push_back({display_path, first_mutex_line, "mutex-guarded",
-                   "header declares a Mutex member but annotates nothing "
-                   "with GUARDED_BY; annotate the state the mutex "
-                   "protects"});
-  }
-
-  if (is_header) {
-    std::string guard = ExpectedHeaderGuard(rel_path);
-    if (content.find("#ifndef " + guard) == std::string::npos ||
-        content.find("#define " + guard) == std::string::npos) {
-      out.push_back({display_path, 1, "header-guard",
-                     "expected include guard '" + guard + "'"});
+  std::vector<Violation> out;
+  for (const LintRule& rule : AllRules()) {
+    std::vector<Violation> found;
+    rule.fn(ctx, &found);
+    for (Violation& v : found) {
+      // A reasoned NOLINT exempts its line from every rule but the NOLINT
+      // discipline itself.
+      if (std::string(rule.name) != "nolint-reason" &&
+          ctx.suppressed_lines.count(v.line) > 0) {
+        continue;
+      }
+      out.push_back(std::move(v));
     }
   }
-
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
   return out;
 }
 
@@ -447,6 +485,7 @@ std::vector<Violation> LintTree(const std::vector<std::string>& roots) {
       if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
       std::string p = it->path().string();
       if (p.find("lint_fixtures") != std::string::npos) continue;
+      if (p.find("analyzer_fixtures") != std::string::npos) continue;
       files.push_back(it->path());
     }
     std::sort(files.begin(), files.end());

@@ -1,8 +1,11 @@
 #ifndef CLOUDVIEWS_TOOLS_REPO_LINT_LIB_H_
 #define CLOUDVIEWS_TOOLS_REPO_LINT_LIB_H_
 
+#include <set>
 #include <string>
 #include <vector>
+
+#include "tools/token.h"
 
 namespace cloudviews {
 namespace lint {
@@ -16,39 +19,55 @@ struct Violation {
   std::string message;
 };
 
-/// Rules enforced over src/ + tests/ (see DESIGN.md "Correctness tooling"):
+/// Everything a rule needs about one file. Rules are token-level: the
+/// lexer has already removed comments and string/char literal *contents*
+/// from `code`, so prose can never trigger a ban and a banned call can
+/// never hide in a multi-line raw string. Directive bodies stay in `code`
+/// (a macro that expands to srand() is still a violation); `comments`
+/// carries the justification comments some rules look for.
+struct FileCtx {
+  std::string display_path;
+  std::string rel_path;
+  const std::string* content = nullptr;  // raw bytes (header-guard rule)
+  std::vector<Token> code;               // everything but comments
+  std::vector<Token> comments;
+  std::set<int> suppressed_lines;  // lines carrying a reasoned NOLINT
+  bool is_header = false;
+};
+
+/// One registered rule. Registration is data-driven: AllRules() is the
+/// single table, and docs/lint_rules.md must list exactly these rows (a
+/// test asserts the counts match).
+struct LintRule {
+  const char* name;     // rule slug reported in Violation::rule
+  const char* summary;  // one-line description (mirrors the docs table)
+  const char* fixture;  // file under tools/lint_fixtures/ proving it
+  void (*fn)(const FileCtx&, std::vector<Violation>*);
+};
+
+/// The rule table (see DESIGN.md "Correctness tooling"):
 ///  banned-random      std::rand / srand / random_device / time(nullptr)
 ///                     outside common/random (use cloudviews::Rng)
-///  banned-sync        std::mutex / condition_variable / lock_guard /
-///                     unique_lock / scoped_lock outside common/mutex.h
-///                     (use the annotated Mutex / MutexLock / CondVar)
+///  banned-clock       ad-hoc std::chrono clocks outside common/clock.h
+///                     and src/obs (use MonotonicClock)
 ///  banned-sleep       sleep_for / sleep_until / usleep / nanosleep
-///                     outside fault/backoff (retry loops must go through
-///                     fault::RetryWithBackoff and its injectable Sleeper,
-///                     never sleep directly)
+///                     outside fault/backoff (use RetryWithBackoff)
+///  banned-sync        raw std sync primitives outside common/mutex.h
+///                     (use the annotated Mutex / MutexLock / CondVar)
 ///  naked-new          `new` outside a smart-pointer factory
-///                     (use std::make_unique / std::make_shared)
 ///  mutex-guarded      a header declaring a Mutex member must annotate the
 ///                     state it protects with GUARDED_BY / PT_GUARDED_BY
-///  metadata-map-stripe a GUARDED_BY'd std::map / std::unordered_map
-///                     member in a src/metadata/ header must carry a
-///                     nearby "shard-stripe" justification comment — the
-///                     metadata hot path is sharded (Sec 7.3) and must not
-///                     regrow a service-wide map behind a single mutex
-///  compensation-comment a PlanNode construction (make_shared<...Node>) in
-///                     src/optimizer/view_matcher.* or view_rewriter.* must
-///                     carry a nearby "// compensation: <why>" comment —
-///                     every operator added around a reused view changes
-///                     result bytes unless justified, so the byte-identity
-///                     argument must be written down at the construction
-///  assert-side-effect assert() whose argument mutates state (vanishes
-///                     under NDEBUG)
+///  metadata-map-stripe a GUARDED_BY'd map member in a src/metadata/
+///                     header needs a "shard-stripe" justification
+///  compensation-comment a PlanNode construction in view_matcher.* /
+///                     view_rewriter.* needs a "// compensation: <why>"
+///  assert-side-effect assert() whose argument mutates state
 ///  header-guard       include guards must be CLOUDVIEWS_<PATH>_H_
-///  nolint-reason      NOLINT must carry a category and reason:
-///                     NOLINT(rule): why
+///  nolint-reason      NOLINT must carry a category and reason
 ///
-/// A line carrying a reasoned NOLINT(...) marker is exempt from the other
-/// rules. Comments and string literals are stripped before matching.
+/// A line carrying a reasoned NOLINT(rule): why marker is exempt from the
+/// other rules.
+const std::vector<LintRule>& AllRules();
 
 /// Lints one file. `rel_path` is the repo-relative path ("src/...",
 /// "tests/...") used for per-path rule exemptions and the expected header
@@ -63,9 +82,10 @@ std::vector<Violation> LintFile(const std::string& display_path,
 /// Unreadable roots are reported as violations with rule "io-error".
 std::vector<Violation> LintTree(const std::vector<std::string>& roots);
 
-/// Removes //- and /*-comments and the contents of string/char literals
-/// from one line, so lexical rules do not fire on prose. `in_block_comment`
-/// carries /* ... */ state across lines.
+/// Line-oriented comment/string stripper kept for callers that work on
+/// single lines. The rules themselves no longer use it — they run on the
+/// Tokenize() stream, which handles what this function cannot (multi-line
+/// raw strings, line splices).
 std::string SanitizeLine(const std::string& line, bool* in_block_comment);
 
 }  // namespace lint

@@ -275,6 +275,61 @@ TEST(RepoLintTest, HeaderGuardStripsOnlySrcPrefix) {
   EXPECT_TRUE(LintFile("foo.h", "tests/foo.h", tests_header).empty());
 }
 
+TEST(RepoLintTest, RawStringContentsCannotFireRules) {
+  // The old line-oriented sanitizer lost raw-string state across lines,
+  // so banned names inside a multi-line raw string leaked into matching.
+  std::ifstream in(Fixture("clean_rawstring.cc"));
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto violations = LintFile("clean_rawstring.cc",
+                             "src/clean_rawstring.cc", ss.str());
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.path << ":" << v.line << " [" << v.rule << "] "
+                  << v.message;
+  }
+}
+
+TEST(RepoLintTest, DocsTableListsExactlyTheRegisteredRules) {
+  std::ifstream in(std::string(CV_DOCS_DIR) + "/lint_rules.md");
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string docs = ss.str();
+
+  // Rows of the "## repo_lint rules" table look like "| `rule-name` | ...".
+  size_t begin = docs.find("## repo_lint rules");
+  size_t end = docs.find("## invariant_analyzer rules");
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  std::string section = docs.substr(begin, end - begin);
+
+  size_t rows = 0;
+  for (size_t pos = section.find("\n| `"); pos != std::string::npos;
+       pos = section.find("\n| `", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, AllRules().size())
+      << "docs/lint_rules.md repo_lint table row count must match "
+         "AllRules()";
+  for (const auto& rule : AllRules()) {
+    EXPECT_NE(section.find("| `" + std::string(rule.name) + "` |"),
+              std::string::npos)
+        << "docs/lint_rules.md is missing rule " << rule.name;
+    EXPECT_NE(section.find("`" + std::string(rule.fixture) + "`"),
+              std::string::npos)
+        << "docs/lint_rules.md is missing fixture " << rule.fixture;
+  }
+}
+
+TEST(RepoLintTest, EveryRuleHasAFixtureOnDisk) {
+  for (const auto& rule : AllRules()) {
+    std::ifstream in(Fixture(rule.fixture));
+    EXPECT_TRUE(in.good()) << "rule " << rule.name
+                           << " names a missing fixture " << rule.fixture;
+  }
+}
+
 TEST(RepoLintTest, LintTreeSkipsFixturesAndFindsNothingSeeded) {
   // The fixture directory itself is excluded from tree scans, so pointing
   // LintTree at tools/ only reports real tool sources (which are clean).

@@ -1,0 +1,307 @@
+#include "tools/token.h"
+
+#include <cctype>
+
+namespace cloudviews {
+namespace lint {
+
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Source with backslash-newline splices removed and a per-character map
+/// back to the original 1-based line number. Splicing first means every
+/// later stage (raw strings, comments, directives, identifiers split
+/// across lines) sees logical lines, like a real phase-2 translator.
+struct SplicedSource {
+  std::string text;
+  std::vector<int> line;  // line[i] = original line of text[i]
+};
+
+SplicedSource Splice(const std::string& content) {
+  SplicedSource out;
+  out.text.reserve(content.size());
+  out.line.reserve(content.size());
+  int line = 1;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (c == '\\') {
+      size_t j = i + 1;
+      if (j < content.size() && content[j] == '\r') ++j;
+      if (j < content.size() && content[j] == '\n') {
+        ++line;
+        i = j;
+        continue;
+      }
+    }
+    out.text.push_back(c);
+    out.line.push_back(line);
+    if (c == '\n') ++line;
+  }
+  return out;
+}
+
+/// Multi-character punctuators, longest first within each length bucket.
+const char* const kPunct3[] = {"<<=", ">>=", "<=>", "...", "->*"};
+const char* const kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                               "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                               "%=", "^=", "&=", "|=", "++", "--", "##",
+                               ".*"};
+
+/// Literal prefixes that may precede a quote. A trailing 'R' marks a raw
+/// string.
+bool IsLiteralPrefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+         id == "LR" || id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const SplicedSource& src) : src_(src) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> out;
+    bool at_line_start = true;
+    bool in_directive = false;
+    while (pos_ < src_.text.size()) {
+      char c = src_.text[pos_];
+      if (c == '\n') {
+        at_line_start = true;
+        in_directive = false;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        out.push_back(Mark(LexLineComment(), in_directive));
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        out.push_back(Mark(LexBlockComment(), in_directive));
+        continue;
+      }
+      if (c == '#' && at_line_start) {
+        in_directive = true;
+        out.push_back(Mark(LexDirectiveHead(), in_directive));
+        at_line_start = false;
+        continue;
+      }
+      at_line_start = false;
+      if (c == '"') {
+        out.push_back(Mark(LexString(pos_, /*raw=*/false), in_directive));
+        continue;
+      }
+      if (c == '\'') {
+        out.push_back(Mark(LexCharLit(pos_), in_directive));
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        out.push_back(Mark(LexNumber(), in_directive));
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        out.push_back(Mark(LexIdentifierOrPrefixedLiteral(), in_directive));
+        continue;
+      }
+      out.push_back(Mark(LexPunct(), in_directive));
+    }
+    return out;
+  }
+
+ private:
+  static Token Mark(Token t, bool in_directive) {
+    t.in_directive = in_directive;
+    return t;
+  }
+  char Peek(size_t ahead) const {
+    size_t p = pos_ + ahead;
+    return p < src_.text.size() ? src_.text[p] : '\0';
+  }
+  int LineAt(size_t p) const {
+    if (src_.line.empty()) return 1;
+    if (p >= src_.line.size()) return src_.line.back();
+    return src_.line[p];
+  }
+  Token Make(TokenKind kind, size_t start, size_t end) {
+    Token t;
+    t.kind = kind;
+    t.text = src_.text.substr(start, end - start);
+    t.line = LineAt(start);
+    pos_ = end;
+    return t;
+  }
+
+  Token LexLineComment() {
+    size_t start = pos_;
+    size_t end = src_.text.find('\n', pos_);
+    if (end == std::string::npos) end = src_.text.size();
+    return Make(TokenKind::kComment, start, end);
+  }
+
+  Token LexBlockComment() {
+    size_t start = pos_;
+    // Block comments do not nest: the first */ ends the comment.
+    size_t end = src_.text.find("*/", pos_ + 2);
+    end = end == std::string::npos ? src_.text.size() : end + 2;
+    return Make(TokenKind::kComment, start, end);
+  }
+
+  /// `#` at logical-line start: emit `#name` (whitespace between # and the
+  /// name is dropped) as one kPreprocessor token. The rest of the line is
+  /// lexed as ordinary code so macro bodies are still scanned by rules.
+  Token LexDirectiveHead() {
+    size_t start = pos_;
+    size_t p = pos_ + 1;
+    while (p < src_.text.size() &&
+           (src_.text[p] == ' ' || src_.text[p] == '\t')) {
+      ++p;
+    }
+    size_t name_start = p;
+    while (p < src_.text.size() && IsIdentChar(src_.text[p])) ++p;
+    Token t;
+    t.kind = TokenKind::kPreprocessor;
+    t.text = "#" + src_.text.substr(name_start, p - name_start);
+    t.line = LineAt(start);
+    pos_ = p;
+    return t;
+  }
+
+  Token LexString(size_t start, bool raw) {
+    if (raw) return LexRawString(start);
+    size_t p = pos_;
+    while (p < src_.text.size() && src_.text[p] != '"') ++p;  // skip prefix
+    ++p;                                                      // opening quote
+    while (p < src_.text.size()) {
+      char c = src_.text[p];
+      if (c == '\\' && p + 1 < src_.text.size()) {
+        p += 2;
+        continue;
+      }
+      if (c == '"' || c == '\n') break;  // newline: unterminated, recover
+      ++p;
+    }
+    if (p < src_.text.size() && src_.text[p] == '"') ++p;
+    return Make(TokenKind::kString, start, p);
+  }
+
+  Token LexRawString(size_t start) {
+    // pos_ is at the prefix; find the opening quote, then the delimiter.
+    size_t p = pos_;
+    while (p < src_.text.size() && src_.text[p] != '"') ++p;
+    ++p;
+    size_t delim_start = p;
+    while (p < src_.text.size() && src_.text[p] != '(' &&
+           src_.text[p] != '\n') {
+      ++p;
+    }
+    std::string closer =
+        ")" + src_.text.substr(delim_start, p - delim_start) + "\"";
+    size_t end = src_.text.find(closer, p);
+    end = end == std::string::npos ? src_.text.size() : end + closer.size();
+    return Make(TokenKind::kString, start, end);
+  }
+
+  Token LexCharLit(size_t start) {
+    size_t p = pos_;
+    while (p < src_.text.size() && src_.text[p] != '\'') ++p;  // skip prefix
+    ++p;
+    while (p < src_.text.size()) {
+      char c = src_.text[p];
+      if (c == '\\' && p + 1 < src_.text.size()) {
+        p += 2;
+        continue;
+      }
+      if (c == '\'' || c == '\n') break;
+      ++p;
+    }
+    if (p < src_.text.size() && src_.text[p] == '\'') ++p;
+    return Make(TokenKind::kCharLit, start, p);
+  }
+
+  /// pp-number: digits, identifier chars, digit separators ('), '.', and
+  /// sign characters directly after an exponent marker (e E p P).
+  Token LexNumber() {
+    size_t start = pos_;
+    size_t p = pos_;
+    while (p < src_.text.size()) {
+      char c = src_.text[p];
+      if (IsIdentChar(c) || c == '.') {
+        ++p;
+        continue;
+      }
+      if (c == '\'' && p + 1 < src_.text.size() &&
+          IsIdentChar(src_.text[p + 1])) {
+        p += 2;
+        continue;
+      }
+      if ((c == '+' || c == '-') && p > start) {
+        char prev = src_.text[p - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++p;
+          continue;
+        }
+      }
+      break;
+    }
+    return Make(TokenKind::kNumber, start, p);
+  }
+
+  Token LexIdentifierOrPrefixedLiteral() {
+    size_t start = pos_;
+    size_t p = pos_;
+    while (p < src_.text.size() && IsIdentChar(src_.text[p])) ++p;
+    std::string id = src_.text.substr(start, p - start);
+    char next = p < src_.text.size() ? src_.text[p] : '\0';
+    if (IsLiteralPrefix(id)) {
+      bool is_raw = id.back() == 'R';
+      if (next == '"') {
+        pos_ = start;
+        return LexString(start, is_raw);
+      }
+      if (next == '\'' && !is_raw) {
+        pos_ = start;
+        return LexCharLit(start);
+      }
+    }
+    return Make(TokenKind::kIdentifier, start, p);
+  }
+
+  Token LexPunct() {
+    size_t start = pos_;
+    size_t remaining = src_.text.size() - pos_;
+    if (remaining >= 3) {
+      std::string three = src_.text.substr(pos_, 3);
+      for (const char* cand : kPunct3) {
+        if (three == cand) return Make(TokenKind::kPunct, start, start + 3);
+      }
+    }
+    if (remaining >= 2) {
+      std::string two = src_.text.substr(pos_, 2);
+      for (const char* cand : kPunct2) {
+        if (two == cand) return Make(TokenKind::kPunct, start, start + 2);
+      }
+    }
+    return Make(TokenKind::kPunct, start, start + 1);
+  }
+
+  const SplicedSource& src_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Token> Tokenize(const std::string& content) {
+  SplicedSource spliced = Splice(content);
+  Lexer lexer(spliced);
+  return lexer.Run();
+}
+
+}  // namespace lint
+}  // namespace cloudviews

@@ -1,0 +1,196 @@
+#include "tools/token.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cloudviews {
+namespace lint {
+namespace {
+
+std::string KindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdentifier: return "ident";
+    case TokenKind::kNumber: return "num";
+    case TokenKind::kString: return "str";
+    case TokenKind::kCharLit: return "char";
+    case TokenKind::kPunct: return "punct";
+    case TokenKind::kComment: return "comment";
+    case TokenKind::kPreprocessor: return "pp";
+  }
+  return "?";
+}
+
+/// Renders a token stream as "kind:text" items for compact table cases.
+std::vector<std::string> Render(const std::string& src) {
+  std::vector<std::string> out;
+  for (const Token& t : Tokenize(src)) {
+    out.push_back(KindName(t.kind) + ":" + t.text);
+  }
+  return out;
+}
+
+struct Case {
+  const char* name;
+  const char* src;
+  std::vector<std::string> want;
+};
+
+TEST(TokenizeTest, Table) {
+  const std::vector<Case> cases = {
+      {"plain_decl",
+       "int x = 42;",
+       {"ident:int", "ident:x", "punct:=", "num:42", "punct:;"}},
+      {"digit_separators",
+       "auto n = 1'000'000 + 0x1'FF;",
+       {"ident:auto", "ident:n", "punct:=", "num:1'000'000", "punct:+",
+        "num:0x1'FF", "punct:;"}},
+      {"float_exponent_sign",
+       "double d = 1.5e-9;",
+       {"ident:double", "ident:d", "punct:=", "num:1.5e-9", "punct:;"}},
+      {"line_comment",
+       "x; // srand is banned\ny;",
+       {"ident:x", "punct:;", "comment:// srand is banned", "ident:y",
+        "punct:;"}},
+      {"block_comment_multiline",
+       "a /* srand\n sleep_for */ b",
+       {"ident:a", "comment:/* srand\n sleep_for */", "ident:b"}},
+      {"block_comments_do_not_nest",
+       "/* outer /* inner */ tail",
+       {"comment:/* outer /* inner */", "ident:tail"}},
+      {"string_hides_identifiers",
+       "Log(\"call srand() here\");",
+       {"ident:Log", "punct:(", "str:\"call srand() here\"", "punct:)",
+        "punct:;"}},
+      {"string_escapes",
+       "s = \"a\\\"b\";",
+       {"ident:s", "punct:=", "str:\"a\\\"b\"", "punct:;"}},
+      {"char_literal",
+       "c = 'x'; q = '\\'';",
+       {"ident:c", "punct:=", "char:'x'", "punct:;", "ident:q", "punct:=",
+        "char:'\\''", "punct:;"}},
+      {"raw_string_single_line",
+       "s = R\"(srand \" quote)\";",
+       {"ident:s", "punct:=", "str:R\"(srand \" quote)\"", "punct:;"}},
+      {"raw_string_custom_delim",
+       "s = R\"eof(a )\" b)eof\";",
+       {"ident:s", "punct:=", "str:R\"eof(a )\" b)eof\"", "punct:;"}},
+      {"raw_string_multiline",
+       "s = R\"(line1\nsrand()\nline3)\"; after",
+       {"ident:s", "punct:=", "str:R\"(line1\nsrand()\nline3)\"",
+        "punct:;", "ident:after"}},
+      {"raw_string_prefixes",
+       "a = u8R\"(x)\"; b = LR\"(y)\";",
+       {"ident:a", "punct:=", "str:u8R\"(x)\"", "punct:;", "ident:b",
+        "punct:=", "str:LR\"(y)\"", "punct:;"}},
+      {"encoding_prefixed_string",
+       "w = L\"wide\"; c8 = u8'z';",
+       {"ident:w", "punct:=", "str:L\"wide\"", "punct:;", "ident:c8",
+        "punct:=", "char:u8'z'", "punct:;"}},
+      {"prefix_lookalike_identifier",
+       "U u; R r;",
+       {"ident:U", "ident:u", "punct:;", "ident:R", "ident:r", "punct:;"}},
+      {"preprocessor_directive",
+       "#include <map>\nint x;",
+       {"pp:#include", "punct:<", "ident:map", "punct:>", "ident:int",
+        "ident:x", "punct:;"}},
+      {"preprocessor_spaced_hash",
+       "#  if FOO\n#endif",
+       {"pp:#if", "ident:FOO", "pp:#endif"}},
+      {"macro_body_is_code",
+       "#define SEED() srand(1)",
+       {"pp:#define", "ident:SEED", "punct:(", "punct:)", "ident:srand",
+        "punct:(", "num:1", "punct:)"}},
+      {"preprocessor_continuation",
+       "#define LONG \\\n  srand(2)\nx;",
+       {"pp:#define", "ident:LONG", "ident:srand", "punct:(", "num:2",
+        "punct:)", "ident:x", "punct:;"}},
+      {"splice_inside_identifier",
+       "ab\\\ncd = 1;",
+       {"ident:abcd", "punct:=", "num:1", "punct:;"}},
+      {"hash_mid_line_is_punct",
+       "#define S(x) #x",
+       {"pp:#define", "ident:S", "punct:(", "ident:x", "punct:)",
+        "punct:#", "ident:x"}},
+      {"template_member_decl",
+       "std::unordered_map<Key, std::vector<int>> index_;",
+       {"ident:std", "punct:::", "ident:unordered_map", "punct:<",
+        "ident:Key", "punct:,", "ident:std", "punct:::", "ident:vector",
+        "punct:<", "ident:int", "punct:>>", "ident:index_", "punct:;"}},
+      {"maximal_munch_punct",
+       "a <<= b; c <=> d; e->f; g->*h; i...j;",
+       {"ident:a", "punct:<<=", "ident:b", "punct:;", "ident:c",
+        "punct:<=>", "ident:d", "punct:;", "ident:e", "punct:->",
+        "ident:f", "punct:;", "ident:g", "punct:->*", "ident:h",
+        "punct:;", "ident:i", "punct:...", "ident:j", "punct:;"}},
+      {"unterminated_string_recovers_at_newline",
+       "s = \"oops\nnext;",
+       {"ident:s", "punct:=", "str:\"oops", "ident:next", "punct:;"}},
+      {"comment_then_directive_same_line",
+       "/* lead */ #pragma once",
+       {"comment:/* lead */", "pp:#pragma", "ident:once"}},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(Render(c.src), c.want) << "case: " << c.name;
+  }
+}
+
+TEST(TokenizeTest, LineNumbersSurviveSplicesAndMultilineTokens) {
+  const std::string src =
+      "one\n"
+      "R\"(raw\nspans\nlines)\" two\n"  // raw string starts line 2
+      "#define M \\\n"                  // directive line 5
+      "  tail\n"                        // `tail` starts on line 6
+      "three\n";
+  std::vector<Token> toks = Tokenize(src);
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].text, "one");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].kind, TokenKind::kString);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].text, "two");
+  EXPECT_EQ(toks[2].line, 4);
+  EXPECT_EQ(toks[3].text, "#define");
+  EXPECT_EQ(toks[3].line, 5);
+  EXPECT_EQ(toks[4].text, "M");
+  EXPECT_EQ(toks[5].text, "tail");
+  EXPECT_EQ(toks[5].line, 6);
+  EXPECT_EQ(toks[3].kind, TokenKind::kPreprocessor);
+}
+
+TEST(TokenizeTest, DirectiveTokensAreMarked) {
+  std::vector<Token> toks = Tokenize("#include <map>\nint x;\n#define N 3\n");
+  ASSERT_EQ(toks.size(), 10u);
+  for (size_t i = 0; i < toks.size(); ++i) {
+    bool want = toks[i].line != 2;  // only "int x;" is ordinary code
+    EXPECT_EQ(toks[i].in_directive, want) << "token " << toks[i].text;
+  }
+  // A spliced directive continuation stays marked.
+  std::vector<Token> cont = Tokenize("#define M \\\n  tail\ncode;");
+  ASSERT_EQ(cont.size(), 5u);
+  EXPECT_TRUE(cont[2].in_directive);   // tail
+  EXPECT_FALSE(cont[3].in_directive);  // code
+}
+
+TEST(TokenizeTest, BlockCommentLineTracking) {
+  std::vector<Token> toks = Tokenize("/* a\nb\nc */ x");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kComment);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(TokenizeTest, UnterminatedBlockCommentAndRawStringCloseAtEof) {
+  std::vector<Token> c = Tokenize("x /* never closed");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[1].kind, TokenKind::kComment);
+  std::vector<Token> r = Tokenize("R\"(never closed");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].kind, TokenKind::kString);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace cloudviews
