@@ -33,6 +33,11 @@ Result<JobResult> CloudViews::Submit(const JobDefinition& def,
                                      bool enable_cloudviews) {
   JobServiceOptions options;
   options.enable_cloudviews = enable_cloudviews;
+  return Submit(def, options);
+}
+
+Result<JobResult> CloudViews::Submit(const JobDefinition& def,
+                                     const JobServiceOptions& options) {
   auto result = job_service_->SubmitJob(def, options);
   if (result.ok()) {
     MutexLock lock(stats_mu_);

@@ -8,6 +8,7 @@
 #include "fault/backoff.h"
 #include "fault/fault_injector.h"
 #include "metadata/metadata_service.h"
+#include "net/net_config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/job_service.h"
@@ -37,6 +38,9 @@ struct CloudViewsConfig {
   fault::FaultInjector* fault = nullptr;
   /// Backoff schedule for transient storage/metadata retries.
   fault::RetryPolicy retry;
+  /// Network front door knobs (header-only; the server itself lives in
+  /// src/net and is started separately via JobServiceServer).
+  net::NetServerConfig net;
   /// Sleep seam between retry attempts; null sleeps for real. Tests inject
   /// a RecordingSleeper so fault runs never wait.
   fault::Sleeper* sleeper = nullptr;
@@ -73,6 +77,12 @@ class CloudViews {
   /// pass false to run exactly as before (the opt-in flag of Sec 4).
   Result<JobResult> Submit(const JobDefinition& def,
                            bool enable_cloudviews = true)
+      EXCLUDES(stats_mu_);
+
+  /// Full-options submit sharing the same analyzer-trigger accounting; the
+  /// network front door uses this to pass its parent span through.
+  Result<JobResult> Submit(const JobDefinition& def,
+                           const JobServiceOptions& options)
       EXCLUDES(stats_mu_);
 
   /// Runs the analyzer over the whole repository (or a window) and loads

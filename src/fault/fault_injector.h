@@ -42,6 +42,19 @@ inline constexpr char kMetadataPropose[] = "metadata.propose";
 inline constexpr char kBuilderCrash[] = "builder.crash";
 /// Executor, per morsel, keyed "job:node:phase:morsel".
 inline constexpr char kExecMorsel[] = "exec.morsel";
+/// JobServiceServer accept loop, after ::accept returns a connection: an
+/// injected fault closes the new socket before a session starts (models a
+/// front-door drop under SYN pressure).
+inline constexpr char kNetAccept[] = "net.accept";
+/// Connection read path, keyed by connection id, before each frame read:
+/// an injected fault tears the connection down mid-stream.
+inline constexpr char kNetRead[] = "net.read";
+/// Connection write path, keyed by connection id, before each response
+/// frame: an injected fault drops the connection with the response unsent.
+inline constexpr char kNetWrite[] = "net.write";
+/// AdmissionController::TryAdmit, keyed by connection id: an injected
+/// fault sheds the request with a RETRY_AFTER as if the queue were full.
+inline constexpr char kNetQueueAdmit[] = "net.queue_admit";
 }  // namespace points
 
 /// \brief What an armed injection point does. Exactly one of `probability`

@@ -1,0 +1,141 @@
+#include "net/admission.h"
+
+#include <string>
+
+namespace cloudviews {
+namespace net {
+
+AdmissionToken& AdmissionToken::operator=(AdmissionToken&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    conn_id_ = other.conn_id_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionToken::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release(conn_id_);
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(const Options& options,
+                                         fault::FaultInjector* fault,
+                                         obs::MetricsRegistry* metrics)
+    : options_(options), fault_(fault) {
+  if (metrics != nullptr) {
+    auto shed = [metrics](const char* reason) {
+      return metrics->GetCounter("cv_net_shed_total",
+                                 {{"reason", reason}},
+                                 "Submissions shed with RETRY_AFTER");
+    };
+    shed_counter_queue_full_ = shed("queue_full");
+    shed_counter_conn_cap_ = shed("conn_cap");
+    shed_counter_draining_ = shed("draining");
+    shed_counter_injected_ = shed("injected");
+    inflight_gauge_ = metrics->GetGauge(
+        "cv_net_inflight", {}, "Admitted submissions awaiting a response");
+  }
+}
+
+AdmissionController::AcquireResult AdmissionController::Acquire(
+    uint64_t conn_id) {
+  AcquireResult result;
+  if (draining()) {
+    result.reason = ShedReason::kDraining;
+    RecordShed(result.reason);
+    return result;
+  }
+  if (fault_ != nullptr) {
+    Status injected = fault_->MaybeInject(fault::points::kNetQueueAdmit,
+                                          std::to_string(conn_id));
+    if (!injected.ok()) {
+      result.reason = ShedReason::kInjected;
+      RecordShed(result.reason);
+      return result;
+    }
+  }
+  {
+    MutexLock lock(mu_);
+    int& count = inflight_[conn_id];
+    if (count >= options_.per_connection_inflight_cap) {
+      if (count == 0) inflight_.erase(conn_id);
+      result.reason = ShedReason::kConnCap;
+    } else {
+      ++count;
+      ++total_inflight_;
+      result.admitted = true;
+      result.token = AdmissionToken(this, conn_id);
+      if (inflight_gauge_ != nullptr) {
+        inflight_gauge_->Set(static_cast<double>(total_inflight_));
+      }
+    }
+  }
+  if (!result.admitted) RecordShed(result.reason);
+  return result;
+}
+
+void AdmissionController::RecordShed(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_counter_queue_full_ != nullptr) {
+        shed_counter_queue_full_->Increment();
+      }
+      break;
+    case ShedReason::kConnCap:
+      shed_conn_cap_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_counter_conn_cap_ != nullptr) {
+        shed_counter_conn_cap_->Increment();
+      }
+      break;
+    case ShedReason::kDraining:
+      shed_draining_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_counter_draining_ != nullptr) {
+        shed_counter_draining_->Increment();
+      }
+      break;
+    case ShedReason::kInjected:
+      shed_injected_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_counter_injected_ != nullptr) {
+        shed_counter_injected_->Increment();
+      }
+      break;
+  }
+}
+
+uint64_t AdmissionController::shed_count(ShedReason reason) const {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return shed_queue_full_.load(std::memory_order_relaxed);
+    case ShedReason::kConnCap:
+      return shed_conn_cap_.load(std::memory_order_relaxed);
+    case ShedReason::kDraining:
+      return shed_draining_.load(std::memory_order_relaxed);
+    case ShedReason::kInjected:
+      return shed_injected_.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+uint64_t AdmissionController::inflight() const {
+  MutexLock lock(mu_);
+  return total_inflight_;
+}
+
+void AdmissionController::Release(uint64_t conn_id) {
+  MutexLock lock(mu_);
+  auto it = inflight_.find(conn_id);
+  if (it == inflight_.end()) return;
+  if (--it->second <= 0) inflight_.erase(it);
+  --total_inflight_;
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(static_cast<double>(total_inflight_));
+  }
+}
+
+}  // namespace net
+}  // namespace cloudviews

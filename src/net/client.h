@@ -1,0 +1,75 @@
+#ifndef CLOUDVIEWS_NET_CLIENT_H_
+#define CLOUDVIEWS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "fault/backoff.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace cloudviews {
+namespace net {
+
+/// \brief Blocking client for the job-service wire protocol.
+///
+/// One request in flight per client (the protocol is strictly
+/// request/response per connection); drive N concurrent submissions with N
+/// clients. Not thread-safe — each thread owns its own Client.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& address, uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Raw frame round-trip; the typed helpers below are built on this.
+  struct Response {
+    MsgType type = MsgType::kError;
+    std::string payload;
+  };
+  Result<Response> Roundtrip(MsgType type, std::string_view payload);
+
+  /// One submit round-trip. A transport/protocol failure is a non-OK
+  /// Result; a server-side decision (result, accepted ticket, retry-after,
+  /// typed error) is an OK Result carrying the reply kind.
+  struct SubmitReply {
+    enum class Kind { kResult, kAccepted, kRetryAfter, kError };
+    Kind kind = Kind::kError;
+    SubmitResultResponse result;    // kind == kResult
+    AcceptedResponse accepted;      // kind == kAccepted
+    RetryAfterResponse retry;       // kind == kRetryAfter
+    ErrorResponse error;            // kind == kError
+  };
+  Result<SubmitReply> Submit(const SubmitRequest& request);
+
+  /// Submit with shed handling: a kRetryAfter reply sleeps at least the
+  /// server's hint (backed off per attempt) and resubmits, up to
+  /// `policy.max_attempts` total attempts. Every other reply is returned
+  /// as-is. `sleeper` null uses the real clock.
+  Result<SubmitReply> SubmitWithRetry(const SubmitRequest& request,
+                                      const fault::RetryPolicy& policy,
+                                      fault::Sleeper* sleeper = nullptr,
+                                      int* retries = nullptr);
+
+  /// kError(kNotFound) from the server surfaces as a non-OK Result.
+  Result<StatusResultResponse> QueryStatus(uint64_t ticket);
+  Result<ProfileResultResponse> FetchProfile(uint64_t ticket);
+  Result<ServerStatsResponse> ServerStats();
+
+  /// Direct socket access for protocol-hardening tests (sending malformed
+  /// bytes on purpose).
+  // NOLINTNEXTLINE(raw-socket): accessor named after the class, not the C API
+  Socket* socket() { return &sock_; }
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+  Socket sock_;
+};
+
+}  // namespace net
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_NET_CLIENT_H_

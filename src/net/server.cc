@@ -1,0 +1,555 @@
+#include "net/server.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "net/outcome.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "parser/parser.h"
+
+namespace cloudviews {
+namespace net {
+
+namespace {
+
+/// Rebuilds the parser's typed parameter map from the wire encoding.
+Status ParamsFromWire(const std::vector<WireParam>& wire, ParamMap* out) {
+  out->clear();
+  for (const WireParam& p : wire) {
+    if (p.name.empty()) {
+      return Status::InvalidArgument("empty parameter name");
+    }
+    switch (p.kind) {
+      case WireParamKind::kDate:
+        (*out)[p.name] = DateParam(p.text);
+        break;
+      case WireParamKind::kInt:
+        (*out)[p.name] = IntParam(p.int_value);
+        break;
+      case WireParamKind::kString:
+        (*out)[p.name] = StringParam(p.text);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+JobServiceServer::JobServiceServer(CloudViews* cv, NetServerConfig config)
+    : cv_(cv),
+      config_(std::move(config)),
+      admission_({config_.per_connection_inflight_cap, config_.retry_after_ms},
+                 cv->config().fault, cv->metrics()),
+      queue_({config_.submission_queue_capacity,
+              config_.submission_workers, "net"},
+             cv->metrics()) {
+  obs::MetricsRegistry* metrics = cv_->metrics();
+  requests_total_ = metrics->GetCounter("cv_net_requests_total", {},
+                                        "Frames dispatched by the server");
+  conns_total_ = metrics->GetCounter("cv_net_connections_total", {},
+                                     "Connections accepted");
+  conns_rejected_ =
+      metrics->GetCounter("cv_net_connections_rejected_total", {},
+                          "Connections dropped at accept (cap or fault)");
+  protocol_errors_ = metrics->GetCounter(
+      "cv_net_protocol_errors_total", {},
+      "Malformed frames / payloads answered with kError or a close");
+  conns_gauge_ =
+      metrics->GetGauge("cv_net_connections", {}, "Open connections");
+  request_seconds_ =
+      metrics->GetHistogram("cv_net_request_seconds", {}, {},
+                            "Submit wall time, admission to response");
+}
+
+JobServiceServer::~JobServiceServer() { Stop(); }
+
+Result<uint16_t> JobServiceServer::Start() {
+  if (started_.exchange(true)) {
+    return Status(StatusCode::kAlreadyExists, "server already started");
+  }
+  CV_ASSIGN_OR_RETURN(listener_,
+                      Socket::Listen(config_.bind_address, config_.port,
+                                     config_.listen_backlog));
+  CV_ASSIGN_OR_RETURN(uint16_t port, listener_.BoundPort());
+  port_ = port;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void JobServiceServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // 1. Refuse new work: later Acquire calls shed with kDraining, and the
+  //    listener stops producing connections.
+  admission_.SetDraining();
+  listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // 2. Drain: everything already admitted runs to completion and its
+  //    response is sent before any socket is torn down.
+  queue_.Drain();
+  queue_.Shutdown();
+  // 3. Unblock connection readers and join them.
+  {
+    MutexLock lock(conns_mu_);
+    for (auto& conn : conns_) conn->sock.ShutdownBoth();
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    MutexLock lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  conns_gauge_->Set(0);
+}
+
+ServerStatsResponse JobServiceServer::Stats() const {
+  ServerStatsResponse stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.shed_queue_full = admission_.shed_count(ShedReason::kQueueFull);
+  stats.shed_conn_cap = admission_.shed_count(ShedReason::kConnCap);
+  stats.shed_draining = admission_.shed_count(ShedReason::kDraining);
+  stats.shed_injected = admission_.shed_count(ShedReason::kInjected);
+  stats.queue_depth = queue_.depth();
+  stats.inflight = admission_.inflight();
+  {
+    MutexLock lock(conns_mu_);
+    stats.connections = conns_.size();
+  }
+  return stats;
+}
+
+void JobServiceServer::ReapFinishedConnections() {
+  std::vector<std::shared_ptr<Connection>> dead;
+  {
+    MutexLock lock(conns_mu_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock; these threads have already flagged done.
+  for (auto& conn : dead) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void JobServiceServer::AcceptLoop() {
+  fault::FaultInjector* fault = cv_->config().fault;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kAborted) break;
+      // Transient accept failure (e.g. EMFILE): keep serving.
+      continue;
+    }
+    ReapFinishedConnections();
+    if (fault != nullptr &&
+        !fault->MaybeInject(fault::points::kNetAccept).ok()) {
+      conns_rejected_->Increment();
+      continue;  // the accepted socket drops on scope exit
+    }
+    size_t live = 0;
+    {
+      MutexLock lock(conns_mu_);
+      live = conns_.size();
+    }
+    if (live >= static_cast<size_t>(config_.max_connections)) {
+      conns_rejected_->Increment();
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->id = next_conn_id_.fetch_add(1);
+    conn->sock = std::move(*accepted);
+    conns_total_->Increment();
+    {
+      MutexLock lock(conns_mu_);
+      conns_.push_back(conn);
+      conns_gauge_->Set(static_cast<double>(conns_.size()));
+    }
+    conn->thread = std::thread([this, conn] { ConnectionLoop(conn); });
+  }
+}
+
+void JobServiceServer::ConnectionLoop(
+    const std::shared_ptr<Connection>& conn) {
+  fault::FaultInjector* fault = cv_->config().fault;
+  const std::string conn_key = std::to_string(conn->id);
+  for (;;) {
+    if (fault != nullptr &&
+        !fault->MaybeInject(fault::points::kNetRead, conn_key).ok()) {
+      break;  // injected mid-stream drop
+    }
+    FrameHeader header;
+    std::string payload;
+    Status status = RecvFrame(&conn->sock, &header, &payload);
+    if (!status.ok()) {
+      switch (status.code()) {
+        case StatusCode::kUnimplemented:  // version mismatch
+        case StatusCode::kOutOfRange:     // oversized length prefix
+          protocol_errors_->Increment();
+          (void)SendError(conn.get(), status);  // close either way
+          break;
+        case StatusCode::kAborted:  // clean close / shutdown / bad magic
+          break;
+        default:  // truncated frame, reset, ...
+          protocol_errors_->Increment();
+          break;
+      }
+      break;
+    }
+    if (!HandleFrame(conn, header, payload)) break;
+  }
+  conn->sock.ShutdownBoth();
+  conn->done.store(true, std::memory_order_release);
+  {
+    MutexLock lock(conns_mu_);
+    // conns_ may already have dropped this entry (Stop swap); the gauge
+    // tracks the vector either way.
+    size_t live = 0;
+    for (const auto& c : conns_) {
+      if (!c->done.load(std::memory_order_acquire)) ++live;
+    }
+    conns_gauge_->Set(static_cast<double>(live));
+  }
+}
+
+bool JobServiceServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                                   const FrameHeader& header,
+                                   const std::string& payload) {
+  requests_total_->Increment();
+  if (!IsRequestType(header.type)) {
+    protocol_errors_->Increment();
+    // Framing is intact, so the connection survives an unknown tag: reply
+    // with a typed error and keep reading.
+    return SendError(conn.get(),
+                     Status::InvalidArgument(
+                         "unknown request type " +
+                         std::to_string(static_cast<int>(header.type))));
+  }
+  switch (static_cast<MsgType>(header.type)) {
+    case MsgType::kSubmit:
+      return HandleSubmit(conn, payload);
+    case MsgType::kStatusQuery: {
+      StatusQueryRequest req;
+      Status st = DecodeStatusQueryRequest(payload, &req);
+      if (!st.ok()) {
+        protocol_errors_->Increment();
+        return SendError(conn.get(), st);
+      }
+      StatusResultResponse resp;
+      resp.ticket = req.ticket;
+      {
+        MutexLock lock(job_mu_);
+        auto it = jobs_.find(req.ticket);
+        if (it == jobs_.end()) {
+          // Fall through to a typed not-found below (outside the lock).
+        } else {
+          resp.state = it->second.state;
+          resp.outcome = it->second.outcome;
+          resp.timings = it->second.timings;
+          resp.error_code = it->second.error_code;
+          resp.error_message = it->second.error_message;
+          WireWriter w;
+          EncodeStatusResultResponse(resp, &w);
+          return SendResponse(conn.get(), MsgType::kStatusResult, w.bytes());
+        }
+      }
+      return SendError(conn.get(), Status::NotFound(
+                                       "unknown ticket " +
+                                       std::to_string(req.ticket)));
+    }
+    case MsgType::kProfileFetch: {
+      ProfileFetchRequest req;
+      Status st = DecodeProfileFetchRequest(payload, &req);
+      if (!st.ok()) {
+        protocol_errors_->Increment();
+        return SendError(conn.get(), st);
+      }
+      ProfileResultResponse resp;
+      resp.ticket = req.ticket;
+      bool ready = false;
+      bool known = false;
+      {
+        MutexLock lock(job_mu_);
+        auto it = jobs_.find(req.ticket);
+        if (it != jobs_.end()) {
+          known = true;
+          if (it->second.state == WireJobState::kDone ||
+              it->second.state == WireJobState::kFailed) {
+            ready = true;
+            resp.profile_json = it->second.profile_json;
+          }
+        }
+      }
+      if (!known) {
+        return SendError(conn.get(), Status::NotFound(
+                                         "unknown ticket " +
+                                         std::to_string(req.ticket)));
+      }
+      if (!ready) {
+        return SendError(conn.get(),
+                         Status::NotFound("profile not ready for ticket " +
+                                          std::to_string(req.ticket)));
+      }
+      WireWriter w;
+      EncodeProfileResultResponse(resp, &w);
+      return SendResponse(conn.get(), MsgType::kProfileResult, w.bytes());
+    }
+    case MsgType::kServerStats: {
+      if (!payload.empty()) {
+        protocol_errors_->Increment();
+        return SendError(
+            conn.get(),
+            Status(StatusCode::kParseError, "server-stats takes no payload"));
+      }
+      WireWriter w;
+      EncodeServerStatsResponse(Stats(), &w);
+      return SendResponse(conn.get(), MsgType::kServerStatsResult, w.bytes());
+    }
+    default:
+      return false;  // unreachable: IsRequestType filtered already
+  }
+}
+
+bool JobServiceServer::HandleSubmit(const std::shared_ptr<Connection>& conn,
+                                    const std::string& payload) {
+  SubmitRequest req;
+  Status st = DecodeSubmitRequest(payload, &req);
+  if (!st.ok()) {
+    protocol_errors_->Increment();
+    return SendError(conn.get(), st);
+  }
+
+  // The request's root span; the job's whole lifecycle nests under it so a
+  // wire job's profile carries compile/execute exactly like an in-process
+  // one, plus the front-door framing.
+  auto span = std::make_shared<obs::Span>(
+      cv_->tracer()->StartTrace("net.request"));
+  span->SetAttribute("request", "submit");
+  span->SetAttribute("connection", static_cast<uint64_t>(conn->id));
+  span->SetAttribute("template_id", req.template_id);
+
+  ParamMap params;
+  st = ParamsFromWire(req.params, &params);
+  if (!st.ok()) {
+    protocol_errors_->Increment();
+    return SendError(conn.get(), st);
+  }
+  JobDefinition def;
+  {
+    obs::Span parse_span = span->StartChild("parse");
+    StorageManager* storage = cv_->storage();
+    ScopeScriptParser parser;
+    auto plan =
+        parser.Parse(req.script, params, [storage](const std::string& name) {
+          auto handle = storage->OpenStream(name);
+          return handle.ok() ? (*handle)->guid : std::string();
+        });
+    if (!plan.ok()) {
+      parse_span.SetAttribute("error", plan.status().ToString());
+      return SendError(conn.get(), plan.status());
+    }
+    def.logical_plan = std::move(*plan);
+  }
+  def.template_id = req.template_id;
+  def.cluster = req.cluster;
+  def.business_unit = req.business_unit;
+  def.vc = req.vc;
+  def.user = req.user;
+  def.recurring_instance = static_cast<int>(req.recurring_instance);
+  def.recurrence_period =
+      static_cast<LogicalTime>(req.recurrence_period_seconds);
+  def.tags = req.tags;
+
+  auto admit = admission_.Acquire(conn->id);
+  if (!admit.admitted) {
+    return SendRetryAfter(conn.get(), admit.reason);
+  }
+  uint64_t ticket = NewTicket();
+  RecordQueued(ticket);
+  span->SetAttribute("ticket", ticket);
+
+  double admit_seconds = MonotonicNowSeconds();
+  auto token = std::make_shared<AdmissionToken>(std::move(admit.token));
+  auto def_ptr = std::make_shared<JobDefinition>(std::move(def));
+  bool enable_cloudviews = req.enable_cloudviews;
+  bool wait = req.wait;
+  auto run = [this, conn, ticket, def_ptr, enable_cloudviews, wait,
+              admit_seconds, span, token] {
+    RunSubmission(conn, ticket, *def_ptr, enable_cloudviews, wait,
+                  admit_seconds, span, token.get());
+  };
+  SubmissionQueue::Admit enq = queue_.TryEnqueue(std::move(run));
+  if (enq != SubmissionQueue::Admit::kAdmitted) {
+    ShedReason reason = enq == SubmissionQueue::Admit::kQueueFull
+                            ? ShedReason::kQueueFull
+                            : ShedReason::kDraining;
+    admission_.RecordShed(reason);
+    {
+      MutexLock lock(job_mu_);
+      jobs_.erase(ticket);  // never ran; the ticket is void
+    }
+    return SendRetryAfter(conn.get(), reason);
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (!wait) {
+    AcceptedResponse resp;
+    resp.ticket = ticket;
+    WireWriter w;
+    EncodeAcceptedResponse(resp, &w);
+    return SendResponse(conn.get(), MsgType::kAccepted, w.bytes());
+  }
+  return true;
+}
+
+void JobServiceServer::RunSubmission(const std::shared_ptr<Connection>& conn,
+                                     uint64_t ticket, const JobDefinition& def,
+                                     bool enable_cloudviews, bool wait,
+                                     double admit_seconds,
+                                     const std::shared_ptr<obs::Span>& span,
+                                     AdmissionToken* token) {
+  RecordRunning(ticket);
+  double queue_seconds = MonotonicNowSeconds() - admit_seconds;
+
+  JobServiceOptions options;
+  options.enable_cloudviews = enable_cloudviews;
+  options.parent_span = span.get();
+  auto result = cv_->Submit(def, options);
+
+  // Finish the net.request root now so the profile JSON (this request's
+  // span tree, with the job nested inside) is complete before it is stored
+  // or the response goes out.
+  auto record = span->Finish();
+  std::string profile_json;
+  if (record != nullptr) {
+    obs::JsonWriter w;
+    obs::SpanToJson(*record, &w);
+    profile_json = w.Take();
+  }
+
+  if (result.ok()) {
+    JobOutcome outcome = OutcomeFromJobResult(*result, cv_->storage());
+    WireTimings timings = TimingsFromJobResult(*result);
+    timings.queue_seconds = queue_seconds;
+    RecordDone(ticket, outcome, timings, std::move(profile_json));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    request_seconds_->Observe(MonotonicNowSeconds() - admit_seconds);
+    // Release before the response goes out: once a client holds a reply,
+    // its in-flight slot is observably free (tests and retry loops rely on
+    // that ordering).
+    token->Release();
+    if (wait) {
+      SubmitResultResponse resp;
+      resp.ticket = ticket;
+      resp.outcome = outcome;
+      resp.timings = timings;
+      WireWriter w;
+      EncodeSubmitResultResponse(resp, &w);
+      (void)SendResponse(conn.get(), MsgType::kSubmitResult, w.bytes());
+    }
+  } else {
+    RecordFailed(ticket, result.status(), std::move(profile_json));
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    request_seconds_->Observe(MonotonicNowSeconds() - admit_seconds);
+    token->Release();
+    if (wait) {
+      (void)SendError(conn.get(), result.status());
+    }
+  }
+}
+
+bool JobServiceServer::SendResponse(Connection* conn, MsgType type,
+                                    const std::string& payload) {
+  fault::FaultInjector* fault = cv_->config().fault;
+  if (fault != nullptr &&
+      !fault->MaybeInject(fault::points::kNetWrite,
+                          std::to_string(conn->id))
+           .ok()) {
+    // Injected write failure: the response is lost and the connection is
+    // torn down, exactly like a peer reset mid-write.
+    conn->sock.ShutdownBoth();
+    return false;
+  }
+  MutexLock lock(conn->write_mu);
+  Status st = SendFrame(&conn->sock, type, payload);
+  if (!st.ok()) {
+    conn->sock.ShutdownBoth();
+    return false;
+  }
+  return true;
+}
+
+bool JobServiceServer::SendError(Connection* conn, const Status& status) {
+  ErrorResponse resp;
+  resp.code = static_cast<uint8_t>(status.code());
+  resp.message = status.message();
+  WireWriter w;
+  EncodeErrorResponse(resp, &w);
+  return SendResponse(conn, MsgType::kError, w.bytes());
+}
+
+bool JobServiceServer::SendRetryAfter(Connection* conn, ShedReason reason) {
+  RetryAfterResponse resp;
+  resp.reason = reason;
+  resp.retry_after_ms = admission_.retry_after_ms();
+  WireWriter w;
+  EncodeRetryAfterResponse(resp, &w);
+  return SendResponse(conn, MsgType::kRetryAfter, w.bytes());
+}
+
+void JobServiceServer::RecordQueued(uint64_t ticket) {
+  MutexLock lock(job_mu_);
+  jobs_[ticket].state = WireJobState::kQueued;
+}
+
+void JobServiceServer::RecordRunning(uint64_t ticket) {
+  MutexLock lock(job_mu_);
+  jobs_[ticket].state = WireJobState::kRunning;
+}
+
+void JobServiceServer::RecordDone(uint64_t ticket, const JobOutcome& outcome,
+                                  const WireTimings& timings,
+                                  std::string profile_json) {
+  MutexLock lock(job_mu_);
+  JobRecord& rec = jobs_[ticket];
+  rec.state = WireJobState::kDone;
+  rec.outcome = outcome;
+  rec.timings = timings;
+  rec.profile_json = std::move(profile_json);
+  finished_order_.push_back(ticket);
+  EvictFinishedLocked();
+}
+
+void JobServiceServer::RecordFailed(uint64_t ticket, const Status& status,
+                                    std::string profile_json) {
+  MutexLock lock(job_mu_);
+  JobRecord& rec = jobs_[ticket];
+  rec.state = WireJobState::kFailed;
+  rec.error_code = static_cast<uint8_t>(status.code());
+  rec.error_message = status.message();
+  rec.profile_json = std::move(profile_json);
+  finished_order_.push_back(ticket);
+  EvictFinishedLocked();
+}
+
+void JobServiceServer::EvictFinishedLocked() {
+  while (jobs_.size() > config_.job_table_capacity &&
+         !finished_order_.empty()) {
+    uint64_t oldest = finished_order_.front();
+    finished_order_.pop_front();
+    jobs_.erase(oldest);
+  }
+}
+
+}  // namespace net
+}  // namespace cloudviews

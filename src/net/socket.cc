@@ -1,0 +1,166 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cloudviews {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+Status MakeAddr(const std::string& address, uint16_t port,
+                sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + address);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Listen(const std::string& address, uint16_t port,
+                              int backlog) {
+  sockaddr_in addr;
+  CV_RETURN_NOT_OK(MakeAddr(address, port, &addr));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(StatusCode::kIOError, Errno("socket"));
+  Socket sock(fd);
+  int one = 1;
+  // Best-effort: a failed REUSEADDR only matters for fast restarts.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status(StatusCode::kIOError, Errno("bind"));
+  }
+  if (::listen(fd, backlog) != 0) {
+    return Status(StatusCode::kIOError, Errno("listen"));
+  }
+  return sock;
+}
+
+Result<Socket> Socket::Connect(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  CV_RETURN_NOT_OK(MakeAddr(address, port, &addr));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(StatusCode::kIOError, Errno("socket"));
+  Socket sock(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Status(StatusCode::kIOError, Errno("connect"));
+  int one = 1;
+  // Latency over throughput for a request/response protocol.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> Socket::Accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    // EINVAL: the listener was shut down to stop the accept loop.
+    StatusCode code = errno == EINVAL ? StatusCode::kAborted
+                                      : StatusCode::kIOError;
+    return Status(code, Errno("accept"));
+  }
+}
+
+Result<uint16_t> Socket::BoundPort() const {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status(StatusCode::kIOError, Errno("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Status Socket::SendAll(std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kIOError, Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvExactly(size_t n, std::string* out) {
+  out->resize(n);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, &(*out)[got], n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kIOError, Errno("recv"));
+    }
+    if (r == 0) {
+      if (got == 0) return Status(StatusCode::kAborted, "connection closed");
+      return Status(StatusCode::kParseError, "wire: truncated frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SendFrame(Socket* sock, MsgType type, std::string_view payload) {
+  return sock->SendAll(EncodeFrame(type, payload));
+}
+
+Status RecvFrame(Socket* sock, FrameHeader* header, std::string* payload) {
+  std::string head;
+  CV_RETURN_NOT_OK(sock->RecvExactly(kFrameHeaderBytes, &head));
+  CV_RETURN_NOT_OK(DecodeFrameHeader(head.data(), header));
+  if (header->payload_len == 0) {
+    payload->clear();
+    return Status::OK();
+  }
+  return sock->RecvExactly(header->payload_len, payload);
+}
+
+}  // namespace net
+}  // namespace cloudviews

@@ -1,0 +1,80 @@
+#ifndef CLOUDVIEWS_NET_SOCKET_H_
+#define CLOUDVIEWS_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace cloudviews {
+namespace net {
+
+/// \brief RAII wrapper over a POSIX TCP socket.
+///
+/// All direct socket syscalls in the repo live in socket.cc — everything
+/// else (server, client, tests, bench) goes through this class, which is
+/// what the `raw-socket` lint rule enforces. Blocking I/O only; the server
+/// unblocks readers at shutdown with ShutdownBoth() from another thread.
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Creates a listening socket bound to `address:port` (port 0 picks an
+  /// ephemeral port; BoundPort() reports the actual one).
+  static Result<Socket> Listen(const std::string& address, uint16_t port,
+                               int backlog);
+
+  /// Connects to `address:port`.
+  static Result<Socket> Connect(const std::string& address, uint16_t port);
+
+  /// Blocks until a client connects; valid on listening sockets only.
+  /// Returns kAborted once the socket has been shut down.
+  Result<Socket> Accept();
+
+  /// The locally bound port (after Listen).
+  Result<uint16_t> BoundPort() const;
+
+  /// Writes all of `data`, looping over partial sends. SIGPIPE is
+  /// suppressed (MSG_NOSIGNAL); a peer reset surfaces as kIOError.
+  Status SendAll(std::string_view data);
+
+  /// Reads exactly `n` bytes into `out` (resized), looping over partial
+  /// reads. A clean EOF before any byte returns kAborted ("closed"); an
+  /// EOF mid-buffer returns kParseError ("truncated").
+  Status RecvExactly(size_t n, std::string* out);
+
+  /// Half-closes both directions, unblocking any blocked Accept/Recv on
+  /// this socket from another thread. Idempotent; keeps the fd open so a
+  /// racing reader never sees a recycled descriptor.
+  void ShutdownBoth();
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  explicit Socket(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// Sends one protocol frame (header + payload).
+Status SendFrame(Socket* sock, MsgType type, std::string_view payload);
+
+/// Receives one protocol frame: reads the 8-byte header, validates it (see
+/// DecodeFrameHeader for the error classes), then reads exactly
+/// payload_len bytes. The payload buffer is only allocated after the
+/// length check passes.
+Status RecvFrame(Socket* sock, FrameHeader* header, std::string* payload);
+
+}  // namespace net
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_NET_SOCKET_H_

@@ -188,8 +188,12 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   result.job_id = next_job_id_.fetch_add(1);
 
   obs::Span job_span;  // inactive unless a tracer is attached
-  if (tracer_ != nullptr) {
+  if (options.parent_span != nullptr) {
+    job_span = options.parent_span->StartChild("job");
+  } else if (tracer_ != nullptr) {
     job_span = tracer_->StartTrace("job");
+  }
+  if (options.parent_span != nullptr || tracer_ != nullptr) {
     job_span.SetAttribute("job_id", result.job_id);
     job_span.SetAttribute("template_id", def.template_id);
     job_span.SetAttribute("recurring_instance",

@@ -96,6 +96,13 @@ struct JobServiceOptions {
   /// threads, morsel size); unset uses the options the service was built
   /// with.
   std::optional<ExecOptions> exec;
+  /// When set, the "job" span is created as a child of this span instead of
+  /// a new trace root, so wire submissions nest the whole compile/execute
+  /// lifecycle under the server's "net.request" span. The caller owns the
+  /// parent and must keep it alive for the duration of SubmitJob; with a
+  /// parent set, JobResult::trace stays null (only root spans yield a
+  /// finished tree — the caller finishes its own root).
+  obs::Span* parent_span = nullptr;
 };
 
 /// \brief The always-online job service: compile (with metadata lookup and

@@ -1,0 +1,336 @@
+/// End-to-end front-door tests over real sockets: wire submissions must be
+/// byte-identical to in-process SubmitJob on an identically seeded twin
+/// instance, concurrent clients must all complete, overload must shed with
+/// RETRY_AFTER and retried sheds must eventually succeed, and Stop() must
+/// drain everything admitted while refusing new work.
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/outcome.h"
+#include "net/wire.h"
+#include "parser/parser.h"
+#include "tests/net_test_util.h"
+
+namespace cloudviews {
+namespace net {
+namespace {
+
+using testing_util::NetScript;
+using testing_util::NetSubmit;
+using testing_util::ServerFixture;
+using testing_util::StartServerFixture;
+using testing_util::WaitUntil;
+using testing_util::WriteClickStream;
+
+/// Builds the same JobDefinition the server builds from `req`, against
+/// `cv`'s catalog — the in-process half of the byte-identity comparison.
+JobDefinition InProcessDef(CloudViews* cv, const SubmitRequest& req) {
+  ParamMap params;
+  for (const WireParam& p : req.params) {
+    switch (p.kind) {
+      case WireParamKind::kDate:
+        params[p.name] = DateParam(p.text);
+        break;
+      case WireParamKind::kInt:
+        params[p.name] = IntParam(p.int_value);
+        break;
+      case WireParamKind::kString:
+        params[p.name] = StringParam(p.text);
+        break;
+    }
+  }
+  StorageManager* storage = cv->storage();
+  ScopeScriptParser parser;
+  auto plan =
+      parser.Parse(req.script, params, [storage](const std::string& name) {
+        auto handle = storage->OpenStream(name);
+        return handle.ok() ? (*handle)->guid : std::string();
+      });
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  JobDefinition def;
+  def.logical_plan = std::move(*plan);
+  def.template_id = req.template_id;
+  def.cluster = req.cluster;
+  def.business_unit = req.business_unit;
+  def.vc = req.vc;
+  def.user = req.user;
+  def.recurring_instance = static_cast<int>(req.recurring_instance);
+  def.recurrence_period = static_cast<LogicalTime>(req.recurrence_period_seconds);
+  def.tags = req.tags;
+  return def;
+}
+
+TEST(NetE2E, WireOutcomeByteIdenticalToInProcess) {
+  // Twin universes: one behind the socket server, one driven in-process.
+  // Identical seeds, identical submission order; the wire must add
+  // transport, never semantics.
+  ServerFixture wire = StartServerFixture();
+  CloudViewsConfig twin_config;
+  twin_config.net.submission_workers = 1;
+  CloudViews twin(twin_config);
+  const std::vector<std::string> dates = {"2024-01-01", "2024-01-02"};
+  for (size_t i = 0; i < dates.size(); ++i) {
+    WriteClickStream(twin.storage(), "clicks_" + dates[i], 512,
+                     /*seed=*/77 + i, dates[i]);
+  }
+  auto client = Client::Connect("127.0.0.1", wire.port);
+  ASSERT_TRUE(client.ok());
+
+  // Day 1 (cold), two templates sharing the cooked subplan; then the
+  // analyzer; then day 2 (materialize + reuse). Every step is compared.
+  struct Step {
+    const char* tmpl;
+    const char* tag;
+    const char* date;
+    int instance;
+    bool analyze_first;
+  };
+  const Step steps[] = {
+      {"tmpl-A", "a", "2024-01-01", 1, false},
+      {"tmpl-B", "b", "2024-01-01", 1, false},
+      {"tmpl-A", "a", "2024-01-02", 2, true},
+      {"tmpl-B", "b", "2024-01-02", 2, false},
+  };
+  for (const Step& step : steps) {
+    if (step.analyze_first) {
+      wire.cv->RunAnalyzerAndLoad();
+      twin.RunAnalyzerAndLoad();
+    }
+    SubmitRequest req =
+        NetSubmit(step.tmpl, step.tag, step.date, step.instance);
+    auto reply = client->Submit(req);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->kind, Client::SubmitReply::Kind::kResult)
+        << "step " << step.tmpl << "/" << step.date;
+
+    auto in_process = twin.Submit(InProcessDef(&twin, req));
+    ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
+    JobOutcome twin_outcome =
+        OutcomeFromJobResult(*in_process, twin.storage());
+
+    EXPECT_EQ(EncodeJobOutcome(reply->result.outcome),
+              EncodeJobOutcome(twin_outcome))
+        << "wire and in-process outcomes diverged at " << step.tmpl << "/"
+        << step.date;
+    EXPECT_GT(reply->result.outcome.output_rows, 0);
+    EXPECT_NE(reply->result.outcome.output_fingerprint.hi |
+                  reply->result.outcome.output_fingerprint.lo,
+              0u)
+        << "output fingerprint missing — outcome not actually read back";
+  }
+  ServerStatsResponse stats = wire.server->Stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(NetE2E, ConcurrentClientsAllComplete) {
+  ServerFixture fx = StartServerFixture(
+      [](CloudViewsConfig* config) { config->net.submission_workers = 2; });
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 5;
+  std::atomic<int> failures{0};
+  Mutex ids_mu;
+  std::vector<uint64_t> job_ids;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::Connect("127.0.0.1", fx.port);
+      if (!client.ok()) {
+        failures.fetch_add(kJobsPerThread);
+        return;
+      }
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        SubmitRequest req =
+            NetSubmit("tmpl-c" + std::to_string(t),
+                      "c" + std::to_string(t) + "_" + std::to_string(i),
+                      "2024-01-01", i + 1);
+        fault::RetryPolicy policy;
+        policy.max_attempts = 50;
+        auto reply = client->SubmitWithRetry(req, policy);
+        if (!reply.ok() ||
+            reply->kind != Client::SubmitReply::Kind::kResult ||
+            reply->result.outcome.output_rows <= 0) {
+          failures.fetch_add(1);
+          continue;
+        }
+        MutexLock lock(ids_mu);
+        job_ids.push_back(reply->result.outcome.job_id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_EQ(job_ids.size(),
+            static_cast<size_t>(kThreads * kJobsPerThread));
+  std::set<uint64_t> unique(job_ids.begin(), job_ids.end());
+  EXPECT_EQ(unique.size(), job_ids.size()) << "job ids must be distinct";
+  ServerStatsResponse stats = fx.server->Stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kThreads * kJobsPerThread));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(NetE2E, OverloadShedsTypedAndRetriedShedsSucceed) {
+  // A deliberately tiny service: one worker, one queue slot, two in-flight
+  // per connection. An async flood must shed (bounded memory), and every
+  // shed submission retried must eventually land. Zero failed jobs.
+  ServerFixture fx = StartServerFixture([](CloudViewsConfig* config) {
+    config->net.submission_workers = 1;
+    config->net.submission_queue_capacity = 1;
+    config->net.per_connection_inflight_cap = 2;
+    config->net.retry_after_ms = 1;
+  });
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+
+  constexpr int kJobs = 24;
+  fault::RetryPolicy policy;
+  policy.max_attempts = 100000;  // retry until the queue drains
+  policy.initial_backoff_seconds = 0;
+  policy.max_backoff_seconds = 0;
+  fault::RecordingSleeper no_sleep;  // spin instead of sleeping
+  std::vector<uint64_t> tickets;
+  int total_retries = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    SubmitRequest req =
+        NetSubmit("tmpl-flood", "f" + std::to_string(i), "2024-01-01", i + 1);
+    req.wait = false;
+    int retries = 0;
+    auto reply = client->SubmitWithRetry(req, policy, &no_sleep, &retries);
+    total_retries += retries;
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->kind, Client::SubmitReply::Kind::kAccepted)
+        << "submission " << i << " never admitted";
+    tickets.push_back(reply->accepted.ticket);
+  }
+  // The flood outran one worker with one queue slot: sheds must have
+  // happened, and every one of them was retried into an admission.
+  ServerStatsResponse stats = fx.server->Stats();
+  EXPECT_GT(stats.shed_queue_full + stats.shed_conn_cap, 0u);
+  EXPECT_GT(total_retries, 0);
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kJobs));
+
+  ASSERT_TRUE(WaitUntil([&fx] {
+    ServerStatsResponse s = fx.server->Stats();
+    return s.completed + s.failed == kJobs;
+  }));
+  stats = fx.server->Stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(stats.failed, 0u) << "overload must shed, never fail jobs";
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // And every admitted ticket reports done over the wire.
+  for (uint64_t ticket : tickets) {
+    auto status = client->QueryStatus(ticket);
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status->state, WireJobState::kDone);
+    EXPECT_GT(status->outcome.output_rows, 0);
+  }
+}
+
+TEST(NetE2E, AsyncTicketLifecycleAndProfile) {
+  ServerFixture fx = StartServerFixture();
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+  SubmitRequest req = NetSubmit("tmpl-async", "as", "2024-01-01", 1);
+  req.wait = false;
+  auto reply = client->Submit(req);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->kind, Client::SubmitReply::Kind::kAccepted);
+  uint64_t ticket = reply->accepted.ticket;
+  ASSERT_GT(ticket, 0u);
+
+  ASSERT_TRUE(WaitUntil([&client, ticket] {
+    auto status = client->QueryStatus(ticket);
+    return status.ok() && status->state == WireJobState::kDone;
+  }));
+  auto status = client->QueryStatus(ticket);
+  ASSERT_TRUE(status.ok());
+  EXPECT_GT(status->outcome.output_rows, 0);
+  EXPECT_GT(status->outcome.job_id, 0u);
+
+  // The stored profile is the request's span tree with the job nested
+  // inside — front door and runtime in one trace.
+  auto profile = client->FetchProfile(ticket);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile->ticket, ticket);
+  EXPECT_NE(profile->profile_json.find("net.request"), std::string::npos);
+  EXPECT_NE(profile->profile_json.find("job"), std::string::npos);
+}
+
+TEST(NetE2E, StopDrainsAdmittedWorkAndRefusesNew) {
+  ServerFixture fx = StartServerFixture([](CloudViewsConfig* config) {
+    config->net.submission_workers = 1;
+    config->net.submission_queue_capacity = 64;
+    config->net.per_connection_inflight_cap = 64;
+  });
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+  // Queue up a backlog of async jobs so the drain window is wide.
+  constexpr int kBacklog = 12;
+  for (int i = 0; i < kBacklog; ++i) {
+    SubmitRequest req =
+        NetSubmit("tmpl-drain", "d" + std::to_string(i), "2024-01-01", i + 1);
+    req.wait = false;
+    auto reply = client->Submit(req);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->kind, Client::SubmitReply::Kind::kAccepted);
+  }
+  uint64_t admitted = fx.server->Stats().accepted;
+  ASSERT_EQ(admitted, static_cast<uint64_t>(kBacklog));
+
+  // Stop in the background; submissions racing the drain must be refused
+  // with a typed kDraining RETRY_AFTER (or a closed connection once the
+  // teardown reaches the sockets) — never silently queued.
+  std::thread stopper([&fx] { fx.server->Stop(); });
+  int draining_sheds = 0;
+  for (int i = 0; i < 10000; ++i) {
+    SubmitRequest req = NetSubmit("tmpl-drain", "late", "2024-01-01", 99);
+    req.wait = false;
+    auto reply = client->Submit(req);
+    if (!reply.ok()) break;  // sockets torn down: refusal by close
+    if (reply->kind == Client::SubmitReply::Kind::kRetryAfter) {
+      EXPECT_EQ(reply->retry.reason, ShedReason::kDraining);
+      ++draining_sheds;
+    } else if (reply->kind == Client::SubmitReply::Kind::kAccepted) {
+      // This submit raced ahead of the drain gate flipping — legitimately
+      // admitted, so Stop() owes it completion like the rest.
+      ++admitted;
+    } else {
+      ADD_FAILURE() << "unexpected reply kind during drain";
+      break;
+    }
+  }
+  stopper.join();
+  EXPECT_GE(draining_sheds, 1);
+
+  // Everything admitted before the drain ran to completion.
+  ServerStatsResponse stats = fx.server->Stats();
+  EXPECT_EQ(stats.completed, admitted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_GE(stats.shed_draining, 1u);
+
+  // And the front door is closed: new connections are refused outright, or
+  // die before a round-trip completes.
+  auto late = Client::Connect("127.0.0.1", fx.port);
+  if (late.ok()) {
+    EXPECT_FALSE(late->ServerStats().ok());
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cloudviews

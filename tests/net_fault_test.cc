@@ -1,0 +1,212 @@
+/// Deterministic fault injection at the network seams (accept, read,
+/// write, queue-admit) plus abrupt client disconnects. The invariant under
+/// test everywhere: a dropped request releases every resource it held —
+/// no leaked submission-queue slots, no stuck in-flight-cap tokens, no
+/// abandoned build locks — and the server keeps serving.
+
+#include <string>
+
+#include "fault/backoff.h"
+#include "fault/fault_injector.h"
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "tests/net_test_util.h"
+
+namespace cloudviews {
+namespace net {
+namespace {
+
+using testing_util::NetSubmit;
+using testing_util::ServerFixture;
+using testing_util::StartServerFixture;
+using testing_util::WaitUntil;
+
+ServerFixture StartWithFault(fault::FaultInjector* fi) {
+  return StartServerFixture(
+      [fi](CloudViewsConfig* config) { config->fault = fi; });
+}
+
+/// Drop-everything assertion: nothing admitted is still holding a slot.
+void ExpectNoLeaks(const ServerFixture& fx) {
+  ServerStatsResponse stats = fx.server->Stats();
+  EXPECT_EQ(stats.inflight, 0u) << "leaked admission tokens";
+  EXPECT_EQ(stats.queue_depth, 0u) << "leaked queue slots";
+}
+
+TEST(NetFault, AcceptFaultDropsConnectionServerSurvives) {
+  fault::FaultInjector fi;
+  ServerFixture fx = StartWithFault(&fi);
+  fault::FaultSpec spec;
+  spec.trigger_every = 1;
+  spec.max_fires = 1;
+  fi.Arm(fault::points::kNetAccept, spec);
+
+  // The TCP handshake completes (backlog), but the server closes the
+  // socket before a session starts: the first round-trip fails.
+  auto dropped = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_FALSE(dropped->ServerStats().ok());
+
+  // Fires exhausted: the next connection is served normally.
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->ServerStats().ok());
+  EXPECT_EQ(fi.fires(fault::points::kNetAccept), 1u);
+  ExpectNoLeaks(fx);
+}
+
+TEST(NetFault, ReadFaultTearsConnectionWithoutLeaking) {
+  fault::FaultInjector fi;
+  // The read-side check runs before each blocking frame read, so arm ahead
+  // of the connection: hit 1 passes (the stats request below is served),
+  // hit 2 fires and tears the connection down mid-stream.
+  fault::FaultSpec spec;
+  spec.trigger_every = 2;
+  spec.max_fires = 1;
+  fi.Arm(fault::points::kNetRead, spec);
+  ServerFixture fx = StartWithFault(&fi);
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->ServerStats().ok());
+
+  auto reply = client->Submit(NetSubmit("tmpl-rf", "rf", "2024-01-01", 1));
+  EXPECT_FALSE(reply.ok());  // connection died before the request was read
+
+  fi.Disarm(fault::points::kNetRead);
+  ExpectNoLeaks(fx);
+  ServerStatsResponse stats = fx.server->Stats();
+  EXPECT_EQ(stats.accepted, 0u);  // the request never reached admission
+
+  // A fresh connection submits cleanly after the drop.
+  auto retry = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(retry.ok());
+  auto ok = retry->Submit(NetSubmit("tmpl-rf", "rf", "2024-01-01", 1));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->kind, Client::SubmitReply::Kind::kResult);
+  ExpectNoLeaks(fx);
+}
+
+TEST(NetFault, WriteFaultLosesResponseButJobAndTokensSurvive) {
+  fault::FaultInjector fi;
+  ServerFixture fx = StartWithFault(&fi);
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+  fault::FaultSpec spec;
+  spec.trigger_every = 1;
+  spec.max_fires = 1;
+  fi.Arm(fault::points::kNetWrite, spec);
+
+  // The job is admitted and runs; the result frame is dropped and the
+  // connection torn down, exactly like a peer reset mid-write.
+  auto reply = client->Submit(NetSubmit("tmpl-wf", "wf", "2024-01-01", 1));
+  EXPECT_FALSE(reply.ok());
+
+  ASSERT_TRUE(WaitUntil(
+      [&fx] { return fx.server->Stats().completed == 1; }))
+      << "job should complete even though its response was dropped";
+  ServerStatsResponse stats = fx.server->Stats();
+  EXPECT_EQ(stats.failed, 0u);
+  ExpectNoLeaks(fx);
+
+  fi.Disarm(fault::points::kNetWrite);
+  auto retry = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(retry.ok());
+  auto ok = retry->Submit(NetSubmit("tmpl-wf", "wf", "2024-01-01", 2));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->kind, Client::SubmitReply::Kind::kResult);
+}
+
+TEST(NetFault, QueueAdmitFaultShedsWithTypedRetryAfter) {
+  fault::FaultInjector fi;
+  ServerFixture fx = StartWithFault(&fi);
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+  fault::FaultSpec spec;
+  spec.trigger_every = 1;
+  spec.max_fires = 1;
+  fi.Arm(fault::points::kNetQueueAdmit, spec);
+
+  SubmitRequest req = NetSubmit("tmpl-qa", "qa", "2024-01-01", 1);
+  auto shed = client->Submit(req);
+  ASSERT_TRUE(shed.ok());
+  ASSERT_EQ(shed->kind, Client::SubmitReply::Kind::kRetryAfter);
+  EXPECT_EQ(shed->retry.reason, ShedReason::kInjected);
+  EXPECT_GT(shed->retry.retry_after_ms, 0u);
+
+  // The shed left nothing behind and the retry goes straight through.
+  ExpectNoLeaks(fx);
+  auto retried = client->Submit(req);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried->kind, Client::SubmitReply::Kind::kResult);
+
+  ServerStatsResponse stats = fx.server->Stats();
+  EXPECT_EQ(stats.shed_injected, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(NetFault, SubmitWithRetryRidesOutInjectedSheds) {
+  fault::FaultInjector fi;
+  ServerFixture fx = StartWithFault(&fi);
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+  fault::FaultSpec spec;
+  spec.trigger_every = 1;
+  spec.max_fires = 2;
+  fi.Arm(fault::points::kNetQueueAdmit, spec);
+
+  fault::RetryPolicy policy;
+  policy.max_attempts = 5;
+  fault::RecordingSleeper sleeper;
+  int retries = 0;
+  auto reply = client->SubmitWithRetry(
+      NetSubmit("tmpl-rt", "rt", "2024-01-01", 1), policy, &sleeper,
+      &retries);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->kind, Client::SubmitReply::Kind::kResult);
+  EXPECT_EQ(retries, 2);
+  // Each retry slept at least the server's RETRY_AFTER hint.
+  ASSERT_EQ(sleeper.sleeps().size(), 2u);
+  double hint = fx.cv->config().net.retry_after_ms / 1000.0;
+  for (double s : sleeper.sleeps()) EXPECT_GE(s, hint);
+  EXPECT_EQ(fx.server->Stats().shed_injected, 2u);
+  ExpectNoLeaks(fx);
+}
+
+TEST(NetFault, ClientVanishingMidRequestLeaksNothing) {
+  fault::FaultInjector fi;
+  ServerFixture fx = StartWithFault(&fi);
+  {
+    // Submit a waited job, then vanish without reading the response: the
+    // server's result write hits a dead socket.
+    auto client = Client::Connect("127.0.0.1", fx.port);
+    ASSERT_TRUE(client.ok());
+    WireWriter w;
+    EncodeSubmitRequest(NetSubmit("tmpl-gone", "gone", "2024-01-01", 1), &w);
+    ASSERT_TRUE(
+        client->socket()->SendAll(EncodeFrame(MsgType::kSubmit, w.bytes()))
+            .ok());
+  }  // socket closes here, request in flight
+
+  ASSERT_TRUE(WaitUntil(
+      [&fx] { return fx.server->Stats().completed == 1; }))
+      << "the admitted job must run to completion";
+  ExpectNoLeaks(fx);
+  EXPECT_EQ(fx.server->Stats().failed, 0u);
+
+  // Build locks / materialization state survived the drop: a day-2 submit
+  // on the same template still completes (and can reuse normally).
+  fx.cv->RunAnalyzerAndLoad();
+  auto client = Client::Connect("127.0.0.1", fx.port);
+  ASSERT_TRUE(client.ok());
+  auto day2 = client->Submit(NetSubmit("tmpl-gone", "gone", "2024-01-02", 2));
+  ASSERT_TRUE(day2.ok());
+  ASSERT_EQ(day2->kind, Client::SubmitReply::Kind::kResult);
+  EXPECT_EQ(day2->result.outcome.materialize_lock_denied, 0);
+  ExpectNoLeaks(fx);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cloudviews

@@ -1,0 +1,102 @@
+#ifndef CLOUDVIEWS_TESTS_NET_TEST_UTIL_H_
+#define CLOUDVIEWS_TESTS_NET_TEST_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "core/cloudviews.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace testing_util {
+
+/// The recurring script every net test submits; shares its cooking step
+/// with SharedAggPlan-style jobs so day-2 submissions exercise reuse.
+inline const char* NetScript() {
+  return R"(
+clicks = EXTRACT user:int, page:string, latency:int, when:date
+         FROM "clicks_{date}";
+slow   = SELECT page, COUNT(*) AS n, SUM(latency) AS total_latency
+         FROM clicks WHERE latency > 50 GROUP BY page;
+OUTPUT slow TO "slow_pages_{tag}_{date}";
+)";
+}
+
+/// A wire submit request for NetScript() on one date. `tag` keeps output
+/// stream names distinct per template so twin jobs do not collide.
+inline net::SubmitRequest NetSubmit(const std::string& template_id,
+                                    const std::string& tag,
+                                    const std::string& date,
+                                    int recurring_instance) {
+  net::SubmitRequest req;
+  req.script = NetScript();
+  req.params.push_back(
+      {"date", net::WireParamKind::kDate, date, 0});
+  req.params.push_back(
+      {"tag", net::WireParamKind::kString, tag, 0});
+  req.template_id = template_id;
+  req.vc = "vc-" + template_id;
+  req.user = template_id;
+  req.recurring_instance = recurring_instance;
+  return req;
+}
+
+/// One CloudViews instance with a day of click data, fronted by a server.
+struct ServerFixture {
+  std::unique_ptr<CloudViews> cv;
+  std::unique_ptr<net::JobServiceServer> server;
+  uint16_t port = 0;
+
+  ServerFixture() = default;
+  ServerFixture(ServerFixture&&) = default;
+  ServerFixture& operator=(ServerFixture&&) = default;
+  ~ServerFixture() {
+    if (server != nullptr) server->Stop();
+  }
+};
+
+/// Builds the fixture; `mutate` (optional) tweaks the config before
+/// construction (queue bounds, fault injector, worker counts).
+inline ServerFixture StartServerFixture(
+    const std::function<void(CloudViewsConfig*)>& mutate = nullptr,
+    const std::vector<std::string>& dates = {"2024-01-01", "2024-01-02"}) {
+  ServerFixture fx;
+  CloudViewsConfig config;
+  // Single submission worker by default: deterministic job-id order, which
+  // the byte-identity comparisons rely on.
+  config.net.submission_workers = 1;
+  if (mutate != nullptr) mutate(&config);
+  fx.cv = std::make_unique<CloudViews>(config);
+  for (size_t i = 0; i < dates.size(); ++i) {
+    WriteClickStream(fx.cv->storage(), "clicks_" + dates[i], 512,
+                     /*seed=*/77 + i, dates[i]);
+  }
+  fx.server =
+      std::make_unique<net::JobServiceServer>(fx.cv.get(), fx.cv->config().net);
+  auto port = fx.server->Start();
+  if (!port.ok()) std::abort();
+  fx.port = *port;
+  return fx;
+}
+
+/// Bounded busy-wait (no wall-clock sleeping: the banned-sleep rule) until
+/// `pred` is true; returns false on timeout.
+inline bool WaitUntil(const std::function<bool()>& pred,
+                      double timeout_seconds = 30.0) {
+  double deadline = MonotonicNowSeconds() + timeout_seconds;
+  while (MonotonicNowSeconds() < deadline) {
+    if (pred()) return true;
+    std::this_thread::yield();
+  }
+  return pred();
+}
+
+}  // namespace testing_util
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TESTS_NET_TEST_UTIL_H_

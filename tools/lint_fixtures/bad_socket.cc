@@ -1,0 +1,24 @@
+// Seeded raw-socket violations: direct BSD socket API calls outside
+// net/socket.cc. The member calls and std::bind at the bottom must stay
+// clean (they are not the C API).
+#include <functional>
+
+struct Sock;
+
+int Leaky(int port) {
+  int fd = ::socket(2, 1, 0);            // violation (global-qualified)
+  bind(fd, nullptr, 0);                  // violation (unqualified)
+  listen(fd, 16);                        // violation
+  int c = accept(fd, nullptr, nullptr);  // violation
+  send(c, "hi", 2, 0);                   // violation
+  recv(c, nullptr, 0, 0);                // violation
+  shutdown(c, 2);                        // violation
+  return fd;
+}
+
+int Clean(Sock* s, Sock& local, int (*handler)(int)) {
+  s->connect(7433);       // member call: fine
+  local.send("payload");  // member call: fine
+  auto f = std::bind(handler, 7433);  // namespace-qualified: fine
+  return f();
+}

@@ -174,6 +174,42 @@ void RuleBannedSync(const FileCtx& ctx, std::vector<Violation>* out) {
   }
 }
 
+void RuleRawSocket(const FileCtx& ctx, std::vector<Violation>* out) {
+  // net/socket.{h,cc} is the one sanctioned call site of the BSD socket
+  // API; everything else (the server and client included) goes through the
+  // Socket RAII wrapper so fd lifetimes, EINTR retries, and the net fault
+  // points stay in one place.
+  if (PathContains(ctx.rel_path, "net/socket.")) return;
+  const auto& code = ctx.code;
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& s = code[i].text;
+    if (s != "socket" && s != "bind" && s != "listen" && s != "accept" &&
+        s != "connect" && s != "send" && s != "recv" && s != "sendto" &&
+        s != "recvfrom" && s != "setsockopt" && s != "getsockopt" &&
+        s != "getsockname" && s != "getpeername" && s != "shutdown") {
+      continue;
+    }
+    if (!code[i + 1].IsPunct("(")) continue;
+    // Member calls (sock.connect(...)) are not the C API.
+    if (i >= 1 &&
+        (code[i - 1].IsPunct(".") || code[i - 1].IsPunct("->"))) {
+      continue;
+    }
+    // Namespace-qualified names (std::bind) are not the C API either; a
+    // global-scope `::connect(` is exactly what the rule is after.
+    if (i >= 2 && code[i - 1].IsPunct("::") &&
+        code[i - 2].kind == TokenKind::kIdentifier) {
+      continue;
+    }
+    out->push_back({ctx.display_path, code[i].line, "raw-socket",
+                    "'" + s +
+                        "(' outside net/socket.cc; raw BSD socket calls "
+                        "bypass the Socket RAII wrapper (fd lifetime, "
+                        "EINTR handling, net fault points)"});
+  }
+}
+
 void RuleNakedNew(const FileCtx& ctx, std::vector<Violation>* out) {
   const auto& code = ctx.code;
   for (size_t i = 0; i < code.size(); ++i) {
@@ -352,6 +388,10 @@ const std::vector<LintRule>& AllRules() {
        "raw std sync primitives outside common/mutex.h — use the "
        "annotated Mutex/MutexLock/CondVar",
        "bad_sync.cc", RuleBannedSync},
+      {"raw-socket",
+       "raw BSD socket calls outside net/socket.cc — use the Socket RAII "
+       "wrapper",
+       "bad_socket.cc", RuleRawSocket},
       {"naked-new",
        "naked 'new' — use std::make_unique/std::make_shared",
        "bad_new.cc", RuleNakedNew},

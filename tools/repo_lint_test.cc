@@ -92,6 +92,35 @@ TEST(RepoLintTest, BannedSleepAllowedInBackoffHelper) {
                   .empty());
 }
 
+TEST(RepoLintTest, RawSocketFires) {
+  auto violations = LintFixture("bad_socket.cc");
+  EXPECT_EQ(Rules(violations), std::set<std::string>{"raw-socket"});
+  // socket, bind, listen, accept, send, recv, shutdown.
+  EXPECT_EQ(violations.size(), 7u);
+}
+
+TEST(RepoLintTest, RawSocketAllowedInSocketWrapper) {
+  // The Socket RAII wrapper is the one sanctioned raw-API call site.
+  EXPECT_TRUE(LintFile("socket.cc", "src/net/socket.cc",
+                       ReadFixture("bad_socket.cc"))
+                  .empty());
+  EXPECT_TRUE(LintFile("socket.h", "src/net/socket.h",
+                       "#ifndef CLOUDVIEWS_NET_SOCKET_H_\n"
+                       "#define CLOUDVIEWS_NET_SOCKET_H_\n"
+                       "inline int Fd() { return ::socket(2, 1, 0); }\n"
+                       "#endif\n")
+                  .empty());
+}
+
+TEST(RepoLintTest, RawSocketSkipsMembersAndQualifiedNames) {
+  EXPECT_TRUE(LintFile("f.cc", "src/runtime/f.cc",
+                       "void F(Socket* s) {\n"
+                       "  s->connect(1);\n"
+                       "  auto b = std::bind(g, 2);\n"
+                       "}\n")
+                  .empty());
+}
+
 TEST(RepoLintTest, NakedNewFires) {
   auto violations = LintFixture("bad_new.cc");
   EXPECT_EQ(Rules(violations), std::set<std::string>{"naked-new"});
@@ -278,7 +307,7 @@ TEST(RepoLintTest, HeaderGuardStripsOnlySrcPrefix) {
 TEST(RepoLintTest, RawStringContentsCannotFireRules) {
   // The old line-oriented sanitizer lost raw-string state across lines,
   // so banned names inside a multi-line raw string leaked into matching.
-  std::ifstream in(Fixture("clean_rawstring.cc"));
+  std::ifstream in(FixturePath("clean_rawstring.cc"));
   ASSERT_TRUE(in.good());
   std::ostringstream ss;
   ss << in.rdbuf();
@@ -324,7 +353,7 @@ TEST(RepoLintTest, DocsTableListsExactlyTheRegisteredRules) {
 
 TEST(RepoLintTest, EveryRuleHasAFixtureOnDisk) {
   for (const auto& rule : AllRules()) {
-    std::ifstream in(Fixture(rule.fixture));
+    std::ifstream in(FixturePath(rule.fixture));
     EXPECT_TRUE(in.good()) << "rule " << rule.name
                            << " names a missing fixture " << rule.fixture;
   }
