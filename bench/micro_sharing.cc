@@ -1,0 +1,440 @@
+// Work-sharing microbenchmark: N identical recurring jobs submitted
+// concurrently with the in-flight registry on vs off. With sharing off
+// every submission compiles and executes the plan; with sharing on one
+// leader executes and the rest adopt its result, so the execution count
+// collapses to (nearly) one. A second section drives build piggybacking
+// deterministically — a synthetic foreign builder holds the build lock,
+// the denied job waits, and the builder's registered view turns the wait
+// into a reuse hit — and the fault section shows both sharing seams
+// degrading without losing a job or a byte. Writes BENCH_sharing.json
+// for the CI bench-smoke artifact.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fault/fault_injector.h"
+#include "obs/export.h"
+#include "plan/plan_builder.h"
+
+namespace cloudviews {
+namespace bench {
+namespace {
+
+Schema ClickSchema() {
+  return Schema({{"user", DataType::kInt64},
+                 {"page", DataType::kString},
+                 {"latency", DataType::kInt64},
+                 {"when", DataType::kDate}});
+}
+
+void WriteClicks(StorageManager* storage, const std::string& date,
+                 size_t rows) {
+  Rng rng(Hash128Hasher()(Hash128{11, 5}) + rows);
+  Batch b(ClickSchema());
+  int64_t day = 0;
+  ParseDate(date, &day);
+  static const char* kPages[] = {"/home", "/search", "/cart", "/about"};
+  for (size_t i = 0; i < rows; ++i) {
+    (void)b.AppendRow({Value::Int64(static_cast<int64_t>(rng.Uniform(100))),
+                       Value::String(kPages[rng.Uniform(4)]),
+                       Value::Int64(static_cast<int64_t>(rng.Uniform(500))),
+                       Value::Date(day)});
+  }
+  (void)storage->WriteStream(MakeStreamData(
+      "clicks_" + date, "guid-clicks_" + date, ClickSchema(), {b},
+      storage->clock()->Now()));
+}
+
+PlanNodePtr SharedAgg(const std::string& date) {
+  return PlanBuilder::Extract("clicks_{date}", "clicks_" + date,
+                              "guid-clicks_" + date, ClickSchema())
+      .Filter(Gt(Col("latency"), Lit(int64_t{50})))
+      .Aggregate({"page"}, {{AggFunc::kCount, nullptr, "n"},
+                            {AggFunc::kSum, Col("latency"), "total"}})
+      .Build();
+}
+
+JobDefinition MakeJob(const std::string& id, PlanNodePtr plan) {
+  JobDefinition def;
+  def.template_id = id;
+  def.vc = "vc-" + id;
+  def.user = "u-" + id;
+  def.logical_plan = std::move(plan);
+  return def;
+}
+
+JobDefinition RecurringJob(const std::string& date) {
+  return MakeJob("jobA", PlanBuilder::From(SharedAgg(date))
+                             .Sort({{"n", false}})
+                             .Output("A_" + date)
+                             .Build());
+}
+
+JobDefinition OverlappingJob(const std::string& date) {
+  return MakeJob("jobB", PlanBuilder::From(SharedAgg(date))
+                             .Filter(Gt(Col("n"), Lit(int64_t{0})))
+                             .Output("B_" + date)
+                             .Build());
+}
+
+/// Canonical row-sorted rendering of a stored stream for cross-instance
+/// output comparison.
+std::string Fingerprint(StorageManager* storage, const std::string& stream) {
+  auto open = storage->OpenStream(stream);
+  if (!open.ok()) return "<unreadable: " + open.status().ToString() + ">";
+  Batch all = CombineBatches((*open)->schema, (*open)->batches);
+  std::vector<SortKey> keys;
+  for (const auto& f : (*open)->schema.fields()) {
+    keys.push_back({f.name, /*ascending=*/true});
+  }
+  all = SortBatch(all, keys);
+  std::string out;
+  for (size_t r = 0; r < all.num_rows(); ++r) {
+    for (const Value& v : all.GetRow(r)) out += v.ToString() + "|";
+    out += "\n";
+  }
+  return out;
+}
+
+constexpr int kFleet = 12;
+constexpr size_t kRows = 30000;  // heavy input: the leader executes long
+                                 // enough for the fleet to join as followers
+
+CloudViewsConfig BenchConfig() {
+  CloudViewsConfig config;
+  config.analyzer.selection.top_k = 1;
+  config.analyzer.selection.min_frequency = 2;
+  return config;
+}
+
+uint64_t CounterValue(CloudViews* cv, const char* name) {
+  return cv->metrics()->GetCounter(name, {}, "")->value();
+}
+
+struct FleetResult {
+  std::string mode;
+  int jobs = 0;
+  int succeeded = 0;
+  int failed = 0;
+  uint64_t executions = 0;  // leaders + degraded followers (+ all, when off)
+  uint64_t followers_adopted = 0;
+  uint64_t leader_failures = 0;
+  double wall_seconds = 0;
+  std::string fingerprint;
+};
+
+/// Submits `kFleet` identical copies of the day-1 recurring job at once and
+/// reports how many actually executed. `injector` (optional) is armed by
+/// the caller before the fleet runs.
+FleetResult RunFleet(const std::string& mode, bool sharing,
+                     fault::FaultInjector* injector) {
+  CloudViewsConfig config = BenchConfig();
+  config.fault = injector;
+  CloudViews cv(config);
+  WriteClicks(cv.storage(), "2018-01-01", kRows);
+
+  std::vector<JobDefinition> defs(kFleet, RecurringJob("2018-01-01"));
+  JobServiceOptions options;
+  options.enable_inflight_sharing = sharing;
+  double start = MonotonicNowSeconds();
+  auto results = cv.job_service()->SubmitConcurrent(defs, options);
+  FleetResult out;
+  out.mode = mode;
+  out.wall_seconds = MonotonicNowSeconds() - start;
+  for (const auto& r : results) {
+    ++out.jobs;
+    if (r.ok()) {
+      ++out.succeeded;
+    } else {
+      ++out.failed;
+    }
+  }
+  uint64_t leaders = CounterValue(&cv, "cv_sharing_leader_total");
+  uint64_t degraded = CounterValue(&cv, "cv_sharing_follower_degraded_total");
+  uint64_t followers = CounterValue(&cv, "cv_sharing_follower_total");
+  out.executions = sharing ? leaders + degraded
+                           : static_cast<uint64_t>(out.succeeded);
+  out.followers_adopted = followers - degraded;
+  out.leader_failures = CounterValue(&cv, "cv_sharing_leader_failures_total");
+  out.fingerprint = Fingerprint(cv.storage(), "A_2018-01-01");
+  return out;
+}
+
+struct PiggybackResult {
+  std::string mode;
+  uint64_t waits = 0;
+  uint64_t hits = 0;
+  uint64_t timeouts = 0;
+  uint64_t abandoned = 0;
+  bool ok = false;
+  std::string fingerprint;
+};
+
+/// Drives one deterministic piggyback scenario: day-1 history is mined, a
+/// synthetic foreign builder (job 9999) holds the day-2 build lock, and
+/// the overlapping job is submitted with piggybacking on. `resolve` then
+/// decides how the wait ends: the builder registers its view ("hit"),
+/// abandons the lock ("abandoned"), or does nothing and the injected
+/// timeout fires ("timeout").
+PiggybackResult RunPiggyback(const std::string& mode,
+                             fault::FaultInjector* injector,
+                             double wait_seconds, bool register_view,
+                             bool abandon) {
+  // Donor instance: materializes the day-2 view for real, which yields the
+  // exact build-lock signatures plus builder-identical view bytes. (The
+  // annotation hashes the optimized subtree, so they cannot be recomputed
+  // from the logical plan here.)
+  CloudViews donor(BenchConfig());
+  WriteClicks(donor.storage(), "2018-01-01", 2000);
+  (void)donor.Submit(RecurringJob("2018-01-01"));
+  (void)donor.Submit(OverlappingJob("2018-01-01"));
+  donor.RunAnalyzerAndLoad();
+  WriteClicks(donor.storage(), "2018-01-02", 2000);
+  auto built = donor.Submit(RecurringJob("2018-01-02"));
+  if (!built.ok() || built->views_materialized != 1 ||
+      donor.metadata()->ListViews().size() != 1) {
+    std::fprintf(stderr, "donor failed to materialize the day-2 view\n");
+    std::exit(1);
+  }
+  MaterializedViewInfo view = donor.metadata()->ListViews()[0];
+  auto view_stream = donor.storage()->OpenStream(view.path);
+  if (!view_stream.ok()) {
+    std::fprintf(stderr, "donor view unreadable\n");
+    std::exit(1);
+  }
+
+  CloudViewsConfig config = BenchConfig();
+  config.fault = injector;
+  CloudViews cv(config);
+  WriteClicks(cv.storage(), "2018-01-01", 2000);
+  (void)cv.Submit(RecurringJob("2018-01-01"));
+  (void)cv.Submit(OverlappingJob("2018-01-01"));
+  cv.RunAnalyzerAndLoad();
+  WriteClicks(cv.storage(), "2018-01-02", 2000);
+  if (!cv.metadata()->ProposeMaterialize(view.normalized_signature,
+                                         view.precise_signature, 9999, 9999)) {
+    std::fprintf(stderr, "synthetic builder failed to take the lock\n");
+    std::exit(1);
+  }
+
+  JobServiceOptions options;
+  options.enable_cloudviews = true;
+  options.enable_piggyback = true;
+  options.piggyback_wait_seconds = wait_seconds;
+  Result<JobResult> result = Status::Internal("not run");
+  std::thread submitter([&] {
+    result = cv.job_service()->SubmitJob(OverlappingJob("2018-01-02"),
+                                         options);
+  });
+  // The wait loop re-checks catalog state, so resolving after the denial
+  // is observed exercises the real wake-up path.
+  while (cv.metadata()->counters().locks_denied < 1) {
+    std::this_thread::yield();
+  }
+  if (register_view) {
+    std::string path = "/views/" + view.normalized_signature.ToHex() + "/" +
+                       view.precise_signature.ToHex() + "_9999.ss";
+    (void)cv.storage()->WriteStream(MakeStreamData(
+        path, "guid-piggyback-view", (*view_stream)->schema,
+        (*view_stream)->batches, cv.clock()->Now()));
+    MaterializedViewInfo info = view;
+    info.path = path;
+    info.producer_job_id = 9999;
+    (void)cv.metadata()->ReportMaterialized(info, 0);
+  } else if (abandon) {
+    cv.metadata()->AbandonLock(view.precise_signature, 9999);
+  }
+  submitter.join();
+  if (!register_view && !abandon) {
+    cv.metadata()->AbandonLock(view.precise_signature, 9999);
+  }
+
+  PiggybackResult out;
+  out.mode = mode;
+  out.ok = result.ok();
+  if (result.ok()) {
+    out.waits = static_cast<uint64_t>(result->piggyback_waits);
+    out.hits = static_cast<uint64_t>(result->piggyback_hits);
+    out.timeouts = static_cast<uint64_t>(result->piggyback_timeouts);
+    out.abandoned = static_cast<uint64_t>(result->piggyback_abandoned);
+  }
+  out.fingerprint = Fingerprint(cv.storage(), "B_2018-01-02");
+  return out;
+}
+
+void PrintFleet(const FleetResult& f) {
+  std::printf(
+      "  %-18s jobs=%d ok=%d failed=%d executions=%llu adopted=%llu "
+      "leader_failures=%llu wall=%.3fs\n",
+      f.mode.c_str(), f.jobs, f.succeeded, f.failed,
+      static_cast<unsigned long long>(f.executions),
+      static_cast<unsigned long long>(f.followers_adopted),
+      static_cast<unsigned long long>(f.leader_failures), f.wall_seconds);
+}
+
+void PrintPiggyback(const PiggybackResult& p) {
+  std::printf(
+      "  %-18s ok=%d waits=%llu hits=%llu timeouts=%llu abandoned=%llu\n",
+      p.mode.c_str(), p.ok ? 1 : 0, static_cast<unsigned long long>(p.waits),
+      static_cast<unsigned long long>(p.hits),
+      static_cast<unsigned long long>(p.timeouts),
+      static_cast<unsigned long long>(p.abandoned));
+}
+
+void WriteFleet(FILE* f, const FleetResult& m, const char* trailer) {
+  std::fprintf(f,
+               "    {\"mode\": \"%s\", \"jobs\": %d, \"succeeded\": %d, "
+               "\"failed\": %d, \"executions\": %llu, "
+               "\"followers_adopted\": %llu, \"leader_failures\": %llu, "
+               "\"wall_seconds\": %.4f}%s\n",
+               m.mode.c_str(), m.jobs, m.succeeded, m.failed,
+               static_cast<unsigned long long>(m.executions),
+               static_cast<unsigned long long>(m.followers_adopted),
+               static_cast<unsigned long long>(m.leader_failures),
+               m.wall_seconds, trailer);
+}
+
+void WritePiggyback(FILE* f, const PiggybackResult& p, const char* trailer) {
+  std::fprintf(f,
+               "    {\"mode\": \"%s\", \"ok\": %s, \"waits\": %llu, "
+               "\"hits\": %llu, \"timeouts\": %llu, \"abandoned\": %llu}%s\n",
+               p.mode.c_str(), p.ok ? "true" : "false",
+               static_cast<unsigned long long>(p.waits),
+               static_cast<unsigned long long>(p.hits),
+               static_cast<unsigned long long>(p.timeouts),
+               static_cast<unsigned long long>(p.abandoned), trailer);
+}
+
+int Run() {
+  FigureHeader("micro", "work sharing: concurrent in-flight jobs",
+               "identical concurrent submissions collapse to one execution "
+               "(leader/follower adoption), and lock-denied jobs piggyback "
+               "on the live builder's view instead of running reuse-blind "
+               "(Sec 6: concurrent materialization coordination)");
+
+  // --- Fleet: N identical concurrent submissions --------------------------
+  FleetResult off = RunFleet("sharing_off", false, nullptr);
+  FleetResult on = RunFleet("sharing_on", true, nullptr);
+
+  // Leader crash injected on the first fan-out (crash=true: the leader
+  // process dies, its own job fails, followers degrade and still succeed).
+  fault::FaultInjector crash_injector(29);
+  {
+    fault::FaultSpec spec;
+    spec.trigger_every = 1;
+    spec.max_fires = 1;
+    spec.crash = true;
+    spec.message = "leader process died";
+    crash_injector.Arm(fault::points::kSharingLeaderCrash, spec);
+  }
+  FleetResult crash = RunFleet("sharing_leader_crash", true, &crash_injector);
+
+  PrintFleet(off);
+  PrintFleet(on);
+  PrintFleet(crash);
+
+  // --- Piggyback: denied job waits on the live builder ---------------------
+  PiggybackResult hit =
+      RunPiggyback("piggyback_hit", nullptr, 30, true, false);
+  PiggybackResult abandoned =
+      RunPiggyback("piggyback_abandoned", nullptr, 30, false, true);
+  fault::FaultInjector timeout_injector(31);
+  {
+    fault::FaultSpec spec;
+    spec.trigger_every = 1;
+    timeout_injector.Arm(fault::points::kSharingPiggybackTimeout, spec);
+  }
+  PiggybackResult timeout = RunPiggyback("piggyback_injected_timeout",
+                                         &timeout_injector, 600, false, false);
+  PrintPiggyback(hit);
+  PrintPiggyback(abandoned);
+  PrintPiggyback(timeout);
+
+  PaperVsMeasured(
+      "executions for " + std::to_string(kFleet) + " identical jobs",
+      "shared work runs once",
+      std::to_string(off.executions) + " -> " + std::to_string(on.executions));
+
+  FILE* f = std::fopen("BENCH_sharing.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sharing.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"inflight_sharing\",\n");
+  std::fprintf(f, "  \"fleet_size\": %d,\n", kFleet);
+  std::fprintf(f, "  \"input_rows\": %zu,\n", kRows);
+  std::fprintf(f, "  \"fleet_modes\": [\n");
+  WriteFleet(f, off, ",");
+  WriteFleet(f, on, ",");
+  WriteFleet(f, crash, "");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"piggyback_modes\": [\n");
+  WritePiggyback(f, hit, ",");
+  WritePiggyback(f, abandoned, ",");
+  WritePiggyback(f, timeout, "");
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  wrote BENCH_sharing.json\n");
+
+  // Smoke gates. Work sharing must collapse the fleet: far fewer
+  // executions than submissions, with at least one real adoption.
+  if (off.failed != 0 || on.failed != 0) {
+    std::fprintf(stderr, "a fleet job failed without injected faults\n");
+    return 1;
+  }
+  if (off.executions != kFleet) {
+    std::fprintf(stderr, "sharing_off must execute every submission\n");
+    return 1;
+  }
+  if (on.executions > kFleet / 2 || on.followers_adopted == 0) {
+    std::fprintf(stderr,
+                 "sharing_on did not collapse the fleet (executions=%llu, "
+                 "adopted=%llu)\n",
+                 static_cast<unsigned long long>(on.executions),
+                 static_cast<unsigned long long>(on.followers_adopted));
+    return 1;
+  }
+  // Leader crash: exactly the leader's job fails; everyone else degrades
+  // to independent execution and succeeds.
+  if (crash.failed != 1 || crash.succeeded != kFleet - 1 ||
+      crash.leader_failures == 0) {
+    std::fprintf(stderr, "leader crash must fail exactly the leader\n");
+    return 1;
+  }
+  // Piggybacking: the wait happened and each scenario resolved as driven.
+  if (!hit.ok || hit.waits != 1 || hit.hits != 1) {
+    std::fprintf(stderr, "piggyback hit scenario did not reuse the view\n");
+    return 1;
+  }
+  if (!abandoned.ok || abandoned.waits != 1 || abandoned.abandoned != 1) {
+    std::fprintf(stderr, "piggyback abandon scenario did not fall back\n");
+    return 1;
+  }
+  if (!timeout.ok || timeout.waits != 1 || timeout.timeouts != 1) {
+    std::fprintf(stderr, "injected piggyback timeout did not fire\n");
+    return 1;
+  }
+  // Byte-identity: sharing, degradation, and piggybacking never change
+  // output bytes.
+  if (on.fingerprint != off.fingerprint ||
+      crash.fingerprint != off.fingerprint) {
+    std::fprintf(stderr, "fleet outputs diverged across sharing modes\n");
+    return 1;
+  }
+  if (hit.fingerprint != abandoned.fingerprint ||
+      hit.fingerprint != timeout.fingerprint) {
+    std::fprintf(stderr, "piggyback outputs diverged across scenarios\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudviews
+
+int main() { return cloudviews::bench::Run(); }

@@ -1,0 +1,87 @@
+#include "runtime/inflight_sharing.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace cloudviews {
+
+InflightSharing::Ticket InflightSharing::Join(const ShareKey& key) {
+  Ticket ticket;
+  ticket.key = key;
+  MutexLock lock(mu_);
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    ticket.role = Role::kLeader;
+    ticket.entry = std::make_shared<ShareEntry>();
+    pending_.emplace(key, ticket.entry);
+  } else {
+    ticket.role = Role::kFollower;
+    ticket.entry = it->second;
+  }
+  return ticket;
+}
+
+InflightSharing::Outcome InflightSharing::WaitForLeader(
+    const Ticket& ticket, double timeout_seconds) {
+  // Real wall clock, deliberately: the registry may run under a fake test
+  // clock nobody advances, and this deadline is a liveness backstop (a
+  // hung leader must not park followers forever), not simulation policy.
+  MonotonicClock* real = MonotonicClock::Real();
+  const double deadline = real->NowSeconds() + timeout_seconds;
+  MutexLock lock(mu_);
+  ++ticket.entry->waiters;
+  while (!ticket.entry->published) {
+    double remaining = deadline - real->NowSeconds();
+    if (remaining <= 0) {
+      --ticket.entry->waiters;
+      Outcome timed_out;
+      timed_out.status = Status::Expired(
+          "in-flight share wait timed out; running independently");
+      return timed_out;
+    }
+    // Bounded slices so a missed notify can only delay, never hang, us.
+    cv_.WaitFor(mu_, std::chrono::duration<double>(std::min(remaining, 0.05)));
+  }
+  --ticket.entry->waiters;
+  return ticket.entry->outcome;
+}
+
+size_t InflightSharing::PublishLocked(const Ticket& ticket, Outcome outcome) {
+  size_t waiting = 0;
+  if (!ticket.entry->published) {
+    waiting = ticket.entry->waiters;
+    ticket.entry->outcome = std::move(outcome);
+    ticket.entry->published = true;
+    // Retire the key: submissions arriving from here on start a fresh
+    // share instead of adopting a result computed before they existed.
+    auto it = pending_.find(ticket.key);
+    if (it != pending_.end() && it->second == ticket.entry) {
+      pending_.erase(it);
+    }
+    cv_.NotifyAll();
+  }
+  return waiting;
+}
+
+size_t InflightSharing::PublishSuccess(const Ticket& ticket, Outcome outcome) {
+  outcome.ok = true;
+  MutexLock lock(mu_);
+  return PublishLocked(ticket, std::move(outcome));
+}
+
+void InflightSharing::PublishFailure(const Ticket& ticket, Status status) {
+  Outcome outcome;
+  outcome.ok = false;
+  outcome.status = std::move(status);
+  MutexLock lock(mu_);
+  PublishLocked(ticket, std::move(outcome));
+}
+
+size_t InflightSharing::NumPending() const {
+  MutexLock lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace cloudviews

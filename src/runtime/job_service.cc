@@ -104,6 +104,37 @@ void JobService::SetObservability(obs::MetricsRegistry* metrics,
       metrics->GetCounter("cv_views_stale_registration_dropped_total", {},
                           "View files deleted because the metadata service "
                           "rejected their registration");
+  obs_.sharing_leaders = metrics->GetCounter(
+      "cv_sharing_leader_total", {},
+      "Submissions that led a shared in-flight execution (first in-flight "
+      "job of their whole-plan signature)");
+  obs_.sharing_followers = metrics->GetCounter(
+      "cv_sharing_follower_total", {},
+      "Submissions that joined an in-flight identical execution as a "
+      "follower (whether or not the adoption succeeded)");
+  obs_.sharing_leader_failures = metrics->GetCounter(
+      "cv_sharing_leader_failures_total", {},
+      "Shared executions whose leader failed or crashed before fan-out; "
+      "their followers degraded to independent execution");
+  obs_.sharing_degraded = metrics->GetCounter(
+      "cv_sharing_follower_degraded_total", {},
+      "Followers that fell back to full independent execution (leader "
+      "failure or wait timeout); the job still succeeds");
+  obs_.piggyback_waits = metrics->GetCounter(
+      "cv_sharing_piggyback_waits_total", {},
+      "Build-lock denials the job waited out hoping to reuse the "
+      "in-flight builder's view (one per denied signature)");
+  obs_.piggyback_hits = metrics->GetCounter(
+      "cv_sharing_piggyback_hits_total", {},
+      "Piggyback waits that ended with the view registered; the job "
+      "re-optimized against it instead of running reuse-blind");
+  obs_.piggyback_timeouts = metrics->GetCounter(
+      "cv_sharing_piggyback_timeouts_total", {},
+      "Piggyback waits that timed out; the job kept its reuse-blind plan");
+  obs_.piggyback_abandoned = metrics->GetCounter(
+      "cv_sharing_piggyback_abandoned_total", {},
+      "Piggyback waits cut short because the builder abandoned its lock "
+      "(or its lease lapsed); the job kept its reuse-blind plan");
   plan_cache_.SetMetrics(metrics);
 }
 
@@ -223,18 +254,111 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   // --- Recurring-job fast path: plan-cache probe (see DESIGN.md) -----------
   const bool cloudviews_on = options.enable_cloudviews && metadata_ != nullptr;
   const bool cache_on = options.enable_plan_cache;
+  const bool sharing_on = options.enable_inflight_sharing;
   PlanCache::Key cache_key;
+  Hash128 normalized_sig;
   Hash128 precise_sig;
   PlanCache::Probe probe;
+  if (cache_on || sharing_on) {
+    SubgraphSignatures sigs = ComputeSignatures(*def.logical_plan);
+    normalized_sig = sigs.normalized;
+    precise_sig = sigs.precise;
+  }
+
+  // --- Work sharing: join the in-flight registry (see inflight_sharing.h).
+  // Placed before the plan-cache probe so a follower skips the whole
+  // compile/execute pipeline, not just the cold path.
+  InflightSharing::Ticket share_ticket;
+  if (sharing_on) {
+    share_ticket = sharing_.Join(
+        InflightSharing::ShareKey{normalized_sig, precise_sig, cloudviews_on});
+    if (share_ticket.role == InflightSharing::Role::kFollower) {
+      if (obs_.sharing_followers != nullptr) {
+        obs_.sharing_followers->Increment();
+      }
+      obs::Span wait_span = job_span.StartChild("inflight_wait");
+      InflightSharing::Outcome shared =
+          sharing_.WaitForLeader(share_ticket, options.sharing_wait_seconds);
+      wait_span.SetAttribute("adopted", shared.ok);
+      if (!shared.ok) {
+        wait_span.SetAttribute("degraded_cause", shared.status.ToString());
+      }
+      wait_span.End();
+      if (shared.ok) {
+        // Adopt the leader's execution wholesale: same plan over the same
+        // data, so the result is byte-identical to running alone. The
+        // follower keeps its own job id and trace, and still records a
+        // JobRecord so the feedback loop sees every submission.
+        result.shared_execution = true;
+        result.share_leader_job_id = shared.leader_job_id;
+        result.executed_plan = shared.executed_plan;
+        result.run_stats = shared.run_stats;
+        result.views_reused = shared.views_reused;
+        result.views_reused_subsumed = shared.views_reused_subsumed;
+        result.compensation_nodes_added = shared.compensation_nodes_added;
+        result.estimated_cost = shared.estimated_cost;
+        job_span.SetAttribute("shared_execution", true);
+        job_span.SetAttribute("share_leader_job_id", shared.leader_job_id);
+        if (options.record_in_repository && repository_ != nullptr) {
+          obs::Span record_span = job_span.StartChild("record");
+          JobRecord record;
+          record.job_id = result.job_id;
+          record.cluster = def.cluster;
+          record.business_unit = def.business_unit;
+          record.vc = def.vc;
+          record.user = def.user;
+          record.template_id = def.template_id;
+          record.recurring_instance = def.recurring_instance;
+          record.recurrence_period = def.recurrence_period;
+          record.submit_time = clock_->Now();
+          record.tags = def.tags.empty() ? DefaultTags(def) : def.tags;
+          record.plan = result.executed_plan;
+          record.run_stats = result.run_stats;
+          repository_->AddJob(std::move(record));
+          record_span.End();
+        }
+        if (obs_.succeeded != nullptr) {
+          obs_.succeeded->Increment();
+          obs_.latency->Observe(wall->NowSeconds() - submit_start);
+        }
+        result.trace = job_span.Finish();
+        return result;
+      }
+      // "Do no harm": the leader failed or the wait timed out — run the
+      // job independently below, exactly as if sharing were off.
+      if (obs_.sharing_degraded != nullptr) obs_.sharing_degraded->Increment();
+    } else if (obs_.sharing_leaders != nullptr) {
+      obs_.sharing_leaders->Increment();
+    }
+  }
+  // Leader-side publish guard: every exit path must publish (followers
+  // would otherwise block until their timeout). Failure is the default;
+  // the success tail publishes the real outcome and disarms this.
+  struct ShareGuard {
+    InflightSharing* reg = nullptr;
+    InflightSharing::Ticket* ticket = nullptr;
+    obs::Counter* leader_failures = nullptr;
+    bool published = false;
+    ~ShareGuard() {
+      if (reg == nullptr || published) return;
+      reg->PublishFailure(*ticket,
+                          Status::Internal("leader failed before fan-out"));
+      if (leader_failures != nullptr) leader_failures->Increment();
+    }
+  } share_guard;
+  if (sharing_on && share_ticket.role == InflightSharing::Role::kLeader) {
+    share_guard.reg = &sharing_;
+    share_guard.ticket = &share_ticket;
+    share_guard.leader_failures = obs_.sharing_leader_failures;
+  }
+
   if (cache_on) {
     // The epoch is read BEFORE the probe and the metadata lookup: a
     // concurrent catalog change then tags this compilation with the older
     // epoch and conservatively invalidates it later — never the reverse.
     result.catalog_epoch =
         metadata_ != nullptr ? metadata_->CatalogEpoch() : 1;
-    SubgraphSignatures sigs = ComputeSignatures(*def.logical_plan);
-    cache_key = PlanCache::Key{sigs.normalized, cloudviews_on};
-    precise_sig = sigs.precise;
+    cache_key = PlanCache::Key{normalized_sig, cloudviews_on};
     probe = plan_cache_.Lookup(cache_key, result.catalog_epoch, precise_sig);
   }
 
@@ -363,6 +487,68 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
     optimize_span.SetAttribute("estimated_cost", optimized.estimated_cost);
     optimize_span.End();
   }
+  // --- Build piggybacking (work sharing on the materialization path) ------
+  // A build-lock denial means a live builder is materializing a subgraph we
+  // also compute. Instead of running reuse-blind, wait (bounded) for its
+  // ReportMaterialized and re-optimize against the fresh view. Guards:
+  // only non-builders wait (views_materialized == 0 — a builder waiting on
+  // another builder could deadlock through the lock graph), and a degraded
+  // lookup stays degraded. Every wait outcome except "view registered"
+  // keeps the already-compiled blind plan — piggybacking never fails a job.
+  if (cloudviews_on && options.enable_piggyback && !result.lookup_degraded &&
+      optimized.views_materialized == 0 &&
+      !optimized.lock_denied_signatures.empty()) {
+    obs::Span pb_span = job_span.StartChild("piggyback_wait");
+    MonotonicClock* real = MonotonicClock::Real();
+    const double deadline = real->NowSeconds() + options.piggyback_wait_seconds;
+    for (const auto& [denied_norm, denied_precise] :
+         optimized.lock_denied_signatures) {
+      (void)denied_norm;
+      ++result.piggyback_waits;
+      if (obs_.piggyback_waits != nullptr) obs_.piggyback_waits->Increment();
+      // One shared budget across all denied signatures of this job.
+      double remaining = deadline - real->NowSeconds();
+      Status waited =
+          remaining <= 0
+              ? Status::Expired("piggyback wait budget exhausted")
+              : metadata_->WaitForMaterialized(denied_precise, remaining);
+      if (waited.ok()) {
+        ++result.piggyback_hits;
+        if (obs_.piggyback_hits != nullptr) obs_.piggyback_hits->Increment();
+      } else if (waited.IsNotFound()) {
+        ++result.piggyback_abandoned;
+        if (obs_.piggyback_abandoned != nullptr) {
+          obs_.piggyback_abandoned->Increment();
+        }
+      } else {
+        ++result.piggyback_timeouts;
+        if (obs_.piggyback_timeouts != nullptr) {
+          obs_.piggyback_timeouts->Increment();
+        }
+      }
+    }
+    if (result.piggyback_hits > 0) {
+      // One full re-optimize picks up every view that registered while we
+      // waited. The discarded blind plan held no build locks
+      // (views_materialized == 0 above), so dropping it leaks nothing; if
+      // the re-optimize fails the blind plan still runs.
+      auto replanned = optimizer_.Optimize(def.logical_plan, ctx);
+      if (replanned.ok()) {
+        optimized = std::move(replanned).ValueOrDie();
+        served_full = false;
+        served_skeleton = false;
+        result.plan_cache_hit = false;
+      }
+    }
+    pb_span.SetAttribute("waits", static_cast<int64_t>(result.piggyback_waits));
+    pb_span.SetAttribute("hits", static_cast<int64_t>(result.piggyback_hits));
+    pb_span.SetAttribute("timeouts",
+                         static_cast<int64_t>(result.piggyback_timeouts));
+    pb_span.SetAttribute("abandoned",
+                         static_cast<int64_t>(result.piggyback_abandoned));
+    pb_span.End();
+  }
+
   if (obs_.stage_optimize != nullptr) {
     obs_.stage_optimize->Observe(wall->NowSeconds() - optimize_start);
     obs_.views_reused->Increment(
@@ -483,6 +669,42 @@ Result<JobResult> JobService::SubmitJob(const JobDefinition& def,
   execute_span.End();
   if (obs_.stage_execute != nullptr) {
     obs_.stage_execute->Observe(wall->NowSeconds() - execute_start);
+  }
+
+  // --- Work sharing: leader fan-out ----------------------------------------
+  // Published as soon as execution succeeds (before the cache/record tail)
+  // so followers stop waiting at the earliest correct moment.
+  if (share_guard.reg != nullptr) {
+    Status injected =
+        fault_ != nullptr
+            ? fault_->MaybeInject(fault::points::kSharingLeaderCrash,
+                                  precise_sig.ToHex())
+            : Status::OK();
+    if (!injected.ok()) {
+      // The fan-out is lost either way; with crash=true the leader process
+      // itself is modeled as dead, so its own job fails too. Followers
+      // degrade to independent execution — never to failure.
+      sharing_.PublishFailure(share_ticket, injected);
+      share_guard.published = true;
+      if (obs_.sharing_leader_failures != nullptr) {
+        obs_.sharing_leader_failures->Increment();
+      }
+      if (fault::IsInjectedCrash(injected)) return fail(injected);
+    } else {
+      InflightSharing::Outcome out;
+      out.leader_job_id = result.job_id;
+      out.executed_plan = result.executed_plan;
+      out.run_stats = result.run_stats;
+      out.views_reused = result.views_reused;
+      out.views_reused_subsumed = result.views_reused_subsumed;
+      out.compensation_nodes_added = result.compensation_nodes_added;
+      out.estimated_cost = result.estimated_cost;
+      result.share_followers = static_cast<int>(
+          sharing_.PublishSuccess(share_ticket, std::move(out)));
+      share_guard.published = true;
+      job_span.SetAttribute("share_followers",
+                            static_cast<int64_t>(result.share_followers));
+    }
   }
 
   // --- Publish into the plan cache -----------------------------------------

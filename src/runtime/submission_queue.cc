@@ -11,8 +11,14 @@ SubmissionQueue::SubmissionQueue(const Options& options,
     : capacity_(options.capacity > 0 ? options.capacity : 1) {
   if (metrics != nullptr) {
     obs::Labels labels{{"queue", options.name}};
-    depth_gauge_ = metrics->GetGauge("cv_submission_queue_depth", labels,
-                                     "Tasks queued, not yet picked up");
+    depth_gauge_ = metrics->GetGauge(
+        "cv_submission_queue_depth", labels,
+        "Tasks queued, not yet picked up by a worker (excludes running "
+        "tasks — see cv_submission_queue_running for work in flight)");
+    running_gauge_ = metrics->GetGauge(
+        "cv_submission_queue_running", labels,
+        "Tasks currently executing on a worker thread; depth + running is "
+        "the total admitted-but-unfinished work");
     admitted_counter_ =
         metrics->GetCounter("cv_submission_queue_admitted_total", labels,
                             "Tasks admitted into the bounded queue");
@@ -52,11 +58,14 @@ SubmissionQueue::Admit SubmissionQueue::TryEnqueue(
       task();
     });
     ++admitted_;
+    // The admitted counter moves inside the same critical section as the
+    // queue push: a metrics scrape racing an admit must never observe
+    // admitted/rejected totals inconsistent with the depth gauge.
+    if (admitted_counter_ != nullptr) admitted_counter_->Increment();
     if (depth_gauge_ != nullptr) {
       depth_gauge_->Set(static_cast<double>(queue_.size()));
     }
   }
-  if (admitted_counter_ != nullptr) admitted_counter_->Increment();
   work_cv_.NotifyOne();
   return Admit::kAdmitted;
 }
@@ -74,12 +83,18 @@ void SubmissionQueue::WorkerLoop() {
       if (depth_gauge_ != nullptr) {
         depth_gauge_->Set(static_cast<double>(queue_.size()));
       }
+      if (running_gauge_ != nullptr) {
+        running_gauge_->Set(static_cast<double>(running_));
+      }
     }
     task();
     {
       MutexLock lock(mu_);
       --running_;
       ++finished_;
+      if (running_gauge_ != nullptr) {
+        running_gauge_->Set(static_cast<double>(running_));
+      }
     }
     drain_cv_.NotifyAll();
   }
@@ -112,6 +127,11 @@ size_t SubmissionQueue::depth() const {
 uint64_t SubmissionQueue::admitted() const {
   MutexLock lock(mu_);
   return admitted_;
+}
+
+size_t SubmissionQueue::running() const {
+  MutexLock lock(mu_);
+  return running_;
 }
 
 }  // namespace cloudviews

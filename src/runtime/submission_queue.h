@@ -68,6 +68,10 @@ class SubmissionQueue {
   size_t depth() const EXCLUDES(mu_);
   /// Tasks admitted over the queue's lifetime.
   uint64_t admitted() const EXCLUDES(mu_);
+  /// Tasks currently executing on a worker thread. depth() + running() is
+  /// the admitted-but-unfinished backlog (during a drain the queue may be
+  /// empty with work still in flight).
+  size_t running() const EXCLUDES(mu_);
 
  private:
   void WorkerLoop() EXCLUDES(mu_);
@@ -86,6 +90,7 @@ class SubmissionQueue {
 
   // Observability (null when constructed without a registry).
   obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* running_gauge_ = nullptr;
   obs::Counter* admitted_counter_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;
   obs::Histogram* queue_wait_ = nullptr;

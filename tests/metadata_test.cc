@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "fault/fault_injector.h"
 #include "metadata/metadata_service.h"
 
 namespace cloudviews {
@@ -157,6 +158,72 @@ TEST_F(MetadataTest, CountersTrackActivity) {
   EXPECT_EQ(c.proposals, 2u);
   EXPECT_EQ(c.locks_granted, 1u);
   EXPECT_EQ(c.locks_denied, 1u);
+}
+
+TEST_F(MetadataTest, LeaseTakeoverCleansOrphansOfTheSameJob) {
+  // Regression: a builder writes a partial view, its own lease lapses
+  // (torn write + slow retry), and the SAME job re-proposes. The takeover
+  // must sweep the earlier partial just like a different-job reclamation —
+  // skipping it leaked the file forever (nothing else ever deletes an
+  // unregistered view file under an owned lock).
+  Hash128 normalized = H(1), precise = H(10);
+  ASSERT_TRUE(service_.ProposeMaterialize(normalized, precise, 100, 10));
+  std::string partial = "/views/" + normalized.ToHex() + "/" +
+                        precise.ToHex() + "_100.ss";
+  Schema s({{"v", DataType::kInt64}});
+  ASSERT_TRUE(
+      storage_.WriteStream(MakeStreamData(partial, "g", s, {}, clock_.Now()))
+          .ok());
+
+  clock_.AdvanceSeconds(61);  // expected build 10 -> lock expiry 60s
+  ASSERT_TRUE(service_.ProposeMaterialize(normalized, precise, 100, 10));
+  EXPECT_FALSE(storage_.StreamExists(partial));
+  EXPECT_EQ(service_.counters().orphans_cleaned, 1u);
+  // Same-job takeover is not a lease reclamation (no other builder died).
+  EXPECT_EQ(service_.counters().leases_reclaimed, 0u);
+
+  // The different-job takeover still reclaims AND sweeps.
+  ASSERT_TRUE(
+      storage_.WriteStream(MakeStreamData(partial, "g", s, {}, clock_.Now()))
+          .ok());
+  clock_.AdvanceSeconds(61);
+  ASSERT_TRUE(service_.ProposeMaterialize(normalized, precise, 200, 10));
+  EXPECT_FALSE(storage_.StreamExists(partial));
+  EXPECT_EQ(service_.counters().orphans_cleaned, 2u);
+  EXPECT_EQ(service_.counters().leases_reclaimed, 1u);
+}
+
+TEST_F(MetadataTest, ProposeAttemptsCountInjectedCallsProposalsDoNot) {
+  // propose_attempts counts every call; proposals counts only decisions
+  // the service actually made. An injected propose fault is an attempt
+  // that never reached the service, so attempts - proposals is exactly
+  // the injected-denial count (see docs/job_profile_schema.md).
+  fault::FaultInjector inj(5);
+  fault::FaultSpec spec;
+  spec.trigger_every = 2;  // every second propose is swallowed
+  inj.Arm(fault::points::kMetadataPropose, spec);
+  service_.SetFaultInjector(&inj);
+
+  int granted = 0;
+  for (uint64_t i = 0; i < 6; ++i) {
+    if (service_.ProposeMaterialize(H(1), H(100 + i), i, 10)) ++granted;
+  }
+  auto c = service_.counters();
+  EXPECT_EQ(c.propose_attempts, 6u);
+  EXPECT_EQ(c.proposals, 3u);  // hits 2, 4, 6 were injected away
+  EXPECT_EQ(c.propose_attempts - c.proposals, 3u);
+  // Real decisions all granted (distinct signatures, no contention).
+  EXPECT_EQ(c.locks_granted, 3u);
+  EXPECT_EQ(c.locks_denied, 0u);
+  EXPECT_EQ(granted, 3);
+}
+
+TEST_F(MetadataTest, AttemptsEqualProposalsWithoutInjection) {
+  service_.ProposeMaterialize(H(1), H(10), 1, 10);
+  service_.ProposeMaterialize(H(1), H(10), 2, 10);  // denied, still counted
+  auto c = service_.counters();
+  EXPECT_EQ(c.propose_attempts, 2u);
+  EXPECT_EQ(c.proposals, 2u);
 }
 
 TEST(MetadataLatencyTest, ThreadsReduceSimulatedLatency) {

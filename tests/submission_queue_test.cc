@@ -1,0 +1,149 @@
+// SubmissionQueue metrics tests: the admitted counter moves atomically
+// with the queue push (a scrape must never see totals inconsistent with
+// the depth gauge), and the running gauge tracks in-flight tasks so
+// depth + running is the full admitted-but-unfinished backlog.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "obs/metrics.h"
+#include "runtime/submission_queue.h"
+
+namespace cloudviews {
+namespace {
+
+TEST(SubmissionQueueTest, RunningGaugeTracksInFlightTasks) {
+  obs::MetricsRegistry metrics;
+  SubmissionQueue::Options options;
+  options.capacity = 16;
+  options.workers = 2;
+  options.name = "gauge_test";
+  SubmissionQueue queue(options, &metrics);
+  obs::Labels labels{{"queue", "gauge_test"}};
+  obs::Gauge* running =
+      metrics.GetGauge("cv_submission_queue_running", labels, "");
+  obs::Gauge* depth = metrics.GetGauge("cv_submission_queue_depth", labels, "");
+
+  // Block both workers, then queue one more task behind them.
+  Mutex mu;
+  CondVar release_cv;
+  bool released = false;
+  std::atomic<int> started{0};
+  auto blocker = [&] {
+    ++started;
+    MutexLock lock(mu);
+    while (!released) release_cv.Wait(mu);
+  };
+  ASSERT_EQ(queue.TryEnqueue(blocker), SubmissionQueue::Admit::kAdmitted);
+  ASSERT_EQ(queue.TryEnqueue(blocker), SubmissionQueue::Admit::kAdmitted);
+  std::atomic<bool> third_ran{false};
+  ASSERT_EQ(queue.TryEnqueue([&] { third_ran = true; }),
+            SubmissionQueue::Admit::kAdmitted);
+  while (started.load() < 2) std::this_thread::yield();
+
+  // Both workers are inside tasks; the third task is still queued. During
+  // a drain this is exactly the state where depth alone under-reports the
+  // outstanding work.
+  EXPECT_EQ(queue.running(), 2u);
+  EXPECT_EQ(running->value(), 2.0);
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(depth->value(), 1.0);
+  EXPECT_FALSE(third_ran.load());
+
+  {
+    MutexLock lock(mu);
+    released = true;
+  }
+  release_cv.NotifyAll();
+  queue.Drain();
+  EXPECT_TRUE(third_ran.load());
+  EXPECT_EQ(queue.running(), 0u);
+  EXPECT_EQ(running->value(), 0.0);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.admitted(), 3u);
+}
+
+TEST(SubmissionQueueTest, AdmittedCounterMatchesAdmissionsUnderContention) {
+  obs::MetricsRegistry metrics;
+  SubmissionQueue::Options options;
+  options.capacity = 8;  // small: force plenty of kQueueFull rejections
+  options.workers = 2;
+  options.name = "counter_test";
+  SubmissionQueue queue(options, &metrics);
+  obs::Labels labels{{"queue", "counter_test"}};
+  obs::Counter* admitted_counter =
+      metrics.GetCounter("cv_submission_queue_admitted_total", labels, "");
+  obs::Counter* rejected_counter =
+      metrics.GetCounter("cv_submission_queue_rejected_total", labels, "");
+
+  std::atomic<uint64_t> accepted{0}, rejected{0}, executed{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto admit = queue.TryEnqueue([&executed] { ++executed; });
+        if (admit == SubmissionQueue::Admit::kAdmitted) {
+          ++accepted;
+        } else {
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Drain();
+
+  EXPECT_EQ(queue.admitted(), accepted.load());
+  EXPECT_EQ(admitted_counter->value(), accepted.load());
+  EXPECT_EQ(rejected_counter->value(), rejected.load());
+  EXPECT_EQ(executed.load(), accepted.load());
+  EXPECT_EQ(queue.running(), 0u);
+}
+
+TEST(SubmissionQueueTest, ScrapeNeverSeesCounterBehindQueueState) {
+  // Regression for the counter moving outside the critical section: a
+  // concurrent reader snapshotting (admitted counter, depth, running) must
+  // never observe more outstanding work than admissions that explain it.
+  obs::MetricsRegistry metrics;
+  SubmissionQueue::Options options;
+  options.capacity = 32;
+  options.workers = 2;
+  options.name = "scrape_test";
+  SubmissionQueue queue(options, &metrics);
+  obs::Labels labels{{"queue", "scrape_test"}};
+  obs::Counter* admitted_counter =
+      metrics.GetCounter("cv_submission_queue_admitted_total", labels, "");
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      // With the counter incremented inside the push's critical section,
+      // the queue depth at any instant is at most the admissions counted
+      // by then — and the counter only grows, so reading it AFTER the
+      // depth can only make the bound looser. The old code (increment
+      // after unlock) allowed depth == 1 with the counter still at 0.
+      size_t depth_now = queue.depth();
+      uint64_t counted_after = admitted_counter->value();
+      if (static_cast<uint64_t>(depth_now) > counted_after) violated = true;
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    (void)queue.TryEnqueue([] {
+      // A touch of work so the queue actually backs up under the scraper.
+      std::atomic<int> spin{0};
+      while (spin.fetch_add(1, std::memory_order_relaxed) < 64) {
+      }
+    });
+  }
+  stop = true;
+  scraper.join();
+  queue.Drain();
+  EXPECT_FALSE(violated.load());
+}
+
+}  // namespace
+}  // namespace cloudviews

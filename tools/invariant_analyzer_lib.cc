@@ -835,8 +835,136 @@ std::set<std::string> GroupClosure(
   return idents;
 }
 
+/// External hash functors: a class named `<Target>Hasher` (possibly nested,
+/// e.g. PlanCache::KeyHasher hashing PlanCache::Key) whose operator() has a
+/// body is treated as the hash implementation of Target. This is the
+/// std::unordered_* support idiom: identity-bearing keys of shared state
+/// (caches, in-flight registries) keep their hash in a sibling functor, which
+/// the plain field-coverage audit cannot see. Target resolves by stripping
+/// the "Hasher" suffix from the qualified name; when that exact name is
+/// unknown, a unique simple-name match is accepted (ambiguity disables the
+/// pairing rather than guessing).
+std::map<const ClassInfo*, std::vector<const ClassInfo*>> FindExternalHashers(
+    const std::map<std::string, ClassInfo>& classes) {
+  std::map<const ClassInfo*, std::vector<const ClassInfo*>> out;
+  const std::string kSuffix = "Hasher";
+  for (const auto& [key, info] : classes) {
+    if (key.size() <= kSuffix.size() ||
+        key.compare(key.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    bool has_call_body = false;
+    for (const Function& fn : info.functions) {
+      if (fn.name == "operator()" && fn.has_body) has_call_body = true;
+    }
+    if (!has_call_body) continue;
+    std::string target_name = key.substr(0, key.size() - kSuffix.size());
+    const ClassInfo* target = nullptr;
+    auto exact = classes.find(target_name);
+    if (exact != classes.end()) {
+      target = &exact->second;
+    } else {
+      std::string simple = SimpleName(target_name);
+      if (!simple.empty()) {
+        for (const auto& [other_key, other] : classes) {
+          if (SimpleName(other_key) != simple) continue;
+          if (target != nullptr) {
+            target = nullptr;  // ambiguous: don't guess
+            break;
+          }
+          target = &other;
+        }
+      }
+    }
+    if (target != nullptr && target != &info) out[target].push_back(&info);
+  }
+  return out;
+}
+
+/// Identifier closure of an external hasher's operator(), expanded through
+/// the methods of both the hasher and its target class so delegation like
+/// `operator()` calling a target helper inherits that method's coverage.
+std::set<std::string> HasherClosure(
+    const ClassInfo& hasher, const ClassInfo& target,
+    const std::map<std::string, ClassInfo>& classes) {
+  std::set<std::string> idents;
+  for (const Function& fn : hasher.functions) {
+    if (fn.name == "operator()" && fn.has_body) {
+      idents.insert(fn.body_idents.begin(), fn.body_idents.end());
+    }
+  }
+  std::map<std::string, std::vector<const Function*>> methods;
+  for (const ClassInfo* side : {&hasher, &target}) {
+    for (const ClassInfo* k : ClassAndAncestors(*side, classes)) {
+      std::string simple = SimpleName(k->name);
+      for (const Function& fn : k->functions) {
+        if (!fn.has_body) continue;
+        if (fn.name == simple || fn.name.rfind('~', 0) == 0) continue;
+        methods[fn.name].push_back(&fn);
+      }
+    }
+  }
+  std::vector<std::string> frontier(idents.begin(), idents.end());
+  std::set<std::string> expanded;
+  while (!frontier.empty()) {
+    std::string name = frontier.back();
+    frontier.pop_back();
+    if (!expanded.insert(name).second) continue;
+    auto it = methods.find(name);
+    if (it == methods.end()) continue;
+    for (const Function* fn : it->second) {
+      for (const std::string& ident : fn->body_idents) {
+        if (idents.insert(ident).second) frontier.push_back(ident);
+      }
+    }
+  }
+  return idents;
+}
+
+/// Audits a class whose hash implementation lives in external functor(s):
+/// every member must appear in some hasher's operator() closure or carry a
+/// sig-skip(hash); a skip on a member the hashers DO reference is stale.
+void AuditExternalHash(const ClassInfo& c,
+                       const std::vector<const ClassInfo*>& hashers,
+                       const std::map<std::string, ClassInfo>& classes,
+                       std::vector<Violation>* out) {
+  std::set<std::string> closure;
+  std::string hasher_names;
+  for (const ClassInfo* h : hashers) {
+    std::set<std::string> one = HasherClosure(*h, c, classes);
+    closure.insert(one.begin(), one.end());
+    if (!hasher_names.empty()) hasher_names += "/";
+    hasher_names += SimpleName(h->name) + "::operator()";
+  }
+  for (const Member& m : c.members) {
+    bool covered = closure.count(m.name) > 0;
+    const MemberSkip* skip = nullptr;
+    for (const MemberSkip& s : m.skips) {
+      if (s.group == "hash") skip = &s;
+    }
+    if (covered && skip != nullptr) {
+      out->push_back({m.file, skip->line, "stale-sig-skip",
+                      "member '" + m.name + "' of " + c.name +
+                          " IS referenced by " + hasher_names +
+                          "; drop the sig-skip(hash)"});
+    } else if (!covered && skip == nullptr) {
+      out->push_back(
+          {m.file, m.line, "hasher-coverage",
+           "member '" + m.name + "' of " + c.name +
+               " is not referenced by its external hash functor " +
+               hasher_names +
+               " — two keys differing only in this member would collide in "
+               "shared state; include it, or annotate '// sig-skip(hash): "
+               "<why identity is preserved>'"});
+    }
+  }
+}
+
 void AuditClass(const ClassInfo& c,
                 const std::map<std::string, ClassInfo>& classes,
+                const std::map<const ClassInfo*,
+                               std::vector<const ClassInfo*>>& hashers,
                 std::vector<Violation>* out) {
   for (const auto& group : Groups()) {
     std::vector<const Function*> fns;
@@ -851,6 +979,16 @@ void AuditClass(const ClassInfo& c,
       }
     }
     if (!any_body && !any_default) {
+      if (std::string("hash") == group.name) {
+        auto hit = hashers.find(&c);
+        if (hit != hashers.end()) {
+          // Hashing is implemented externally (<Name>Hasher functor); audit
+          // coverage against the functor instead of declaring the group
+          // unimplemented.
+          AuditExternalHash(c, hit->second, classes, out);
+          continue;
+        }
+      }
       // Group not implemented here: any sig-skip naming it is stale.
       for (const Member& m : c.members) {
         for (const MemberSkip& s : m.skips) {
@@ -917,6 +1055,12 @@ const std::vector<AnalyzerRule>& AllAnalyzerRules() {
        "range-for over a std::unordered_* variable needs a nearby "
        "'// order-insensitive: <why>' justification",
        "unordered_iteration.cc"},
+      {"hasher-coverage",
+       "a class whose hashing lives in an external '<Name>Hasher' functor "
+       "(the std::unordered_* key idiom used by shared-state registries) "
+       "must have every member referenced by that functor's operator() or "
+       "carry a reasoned sig-skip(hash)",
+       "missing_hasher_field.h"},
   };
   return kRules;
 }
@@ -1003,8 +1147,10 @@ std::vector<Violation> AnalyzeSources(const std::vector<SourceFile>& files) {
                            &out);
   }
 
+  std::map<const ClassInfo*, std::vector<const ClassInfo*>> hashers =
+      FindExternalHashers(classes);
   for (const auto& [key, info] : classes) {
-    AuditClass(info, classes, &out);
+    AuditClass(info, classes, hashers, &out);
   }
 
   std::sort(out.begin(), out.end(),

@@ -134,9 +134,43 @@ TEST(InvariantAnalyzerTest, DeclarationOnlyGroupIsNotAudited) {
   EXPECT_TRUE(vs.empty()) << Dump(vs);
 }
 
+TEST(InvariantAnalyzerTest, MissingHasherFieldIsFlagged) {
+  // Hashing implemented by an external <Name>Hasher functor: the uncovered
+  // member is a hasher-coverage violation; the sig-skip'd member and the
+  // covered member stay silent, as does the functor class itself.
+  auto vs = AnalyzeFixture("missing_hasher_field.h");
+  ASSERT_EQ(vs.size(), 1u) << Dump(vs);
+  EXPECT_EQ(vs[0].rule, "hasher-coverage");
+  EXPECT_NE(vs[0].message.find("mode"), std::string::npos);
+  EXPECT_NE(vs[0].message.find("ShareKeyHasher"), std::string::npos);
+}
+
+TEST(InvariantAnalyzerTest, ExternalHasherDelegationCounts) {
+  // operator() delegating to a target method inherits that method's
+  // member coverage, and a skip on a member the hasher DOES reach (via the
+  // delegate) is stale.
+  SourceFile f;
+  f.display_path = "delegate.h";
+  f.rel_path = "src/delegate.h";
+  f.content = R"(struct Key {
+  int a = 0;
+  // sig-skip(hash): claimed unused
+  int b = 0;
+  int Mix() const { return a ^ b; }
+};
+struct KeyHasher {
+  int operator()(const Key& k) const { return k.Mix(); }
+};
+)";
+  auto vs = AnalyzeSources({f});
+  ASSERT_EQ(vs.size(), 1u) << Dump(vs);
+  EXPECT_EQ(vs[0].rule, "stale-sig-skip");
+  EXPECT_NE(vs[0].message.find("'b'"), std::string::npos);
+}
+
 TEST(InvariantAnalyzerTest, RuleTableMatchesFixtures) {
   const auto& rules = AllAnalyzerRules();
-  ASSERT_EQ(rules.size(), 4u);
+  ASSERT_EQ(rules.size(), 5u);
   for (const auto& r : rules) {
     std::string path =
         std::string(CV_ANALYZER_FIXTURE_DIR) + "/" + r.fixture;
